@@ -1,0 +1,64 @@
+"""Ablation: sensitivity of the model to the step-4 purge thresholds.
+
+The paper fixes Nexec=20 and Nloc=10 "to leave only references that may
+benefit from being placed in the scratch pad memory". This bench sweeps
+both thresholds over the jpeg workload and records how the model size
+responds — showing the paper's operating point sits on the flat part of
+the curve (robust), not on a cliff.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.foray.filters import FilterConfig
+
+NEXEC_SWEEP = (1, 5, 10, 20, 50, 200, 1000)
+NLOC_SWEEP = (1, 2, 5, 10, 20, 64, 256)
+
+
+def refilter(model, config):
+    return config.apply(model.unfiltered_references)
+
+
+@pytest.mark.parametrize("nexec", NEXEC_SWEEP)
+def test_nexec_sweep(benchmark, suite_reports, nexec):
+    model = suite_reports["jpeg"].model
+    kept = benchmark(refilter, model, FilterConfig(nexec=nexec, nloc=1))
+    benchmark.extra_info["kept"] = len(kept)
+    assert len(kept) <= len(model.unfiltered_references)
+
+
+@pytest.mark.parametrize("nloc", NLOC_SWEEP)
+def test_nloc_sweep(benchmark, suite_reports, nloc):
+    model = suite_reports["jpeg"].model
+    kept = benchmark(refilter, model, FilterConfig(nexec=1, nloc=nloc))
+    benchmark.extra_info["kept"] = len(kept)
+
+
+def test_emit_ablation_table(suite_reports, results_dir, benchmark):
+    model = suite_reports["jpeg"].model
+
+    def build():
+        lines = ["jpeg step-4 filter ablation (kept references)",
+                 f"{'nexec':>6} {'nloc':>6} {'kept':>6}"]
+        for nexec in NEXEC_SWEEP:
+            for nloc in NLOC_SWEEP:
+                kept = refilter(model, FilterConfig(nexec=nexec, nloc=nloc))
+                lines.append(f"{nexec:>6} {nloc:>6} {len(kept):>6}")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result(results_dir, "ablation_filter.txt", text)
+
+    # Monotonicity: stricter thresholds never keep more references.
+    paper = len(refilter(model, FilterConfig()))
+    relaxed = len(refilter(model, FilterConfig(nexec=1, nloc=1)))
+    strict = len(refilter(model, FilterConfig(nexec=1000, nloc=256)))
+    assert strict <= paper <= relaxed
+
+    # Robustness claim: halving/doubling the paper thresholds moves the
+    # model size by at most a few references.
+    half = len(refilter(model, FilterConfig(nexec=10, nloc=5)))
+    double = len(refilter(model, FilterConfig(nexec=40, nloc=20)))
+    assert abs(half - paper) <= 6
+    assert abs(double - paper) <= 6

@@ -1,0 +1,93 @@
+"""The paper's complexity claim: single-pass, linear-time, constant-space.
+
+Section 4: "the computational complexity ... is linear with respect to the
+number of profiled instructions" and the analysis can run during profiling
+without storing the trace. These benches feed synthetic traces of growing
+length through the extractor and check that per-record cost stays flat and
+that analysis state does not grow with trace length.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.foray.extractor import ForayExtractor
+from repro.sim.trace import (
+    Access,
+    Checkpoint,
+    CheckpointInfo,
+    CheckpointKind,
+    CheckpointMap,
+)
+
+B, S, E = (CheckpointKind.LOOP_BEGIN, CheckpointKind.BODY_BEGIN,
+           CheckpointKind.BODY_END)
+
+
+def make_map() -> CheckpointMap:
+    cmap = CheckpointMap()
+    for offset, kind in enumerate((B, S, E)):
+        cmap.add(CheckpointInfo(10 + offset, kind, 100, "for"))
+    return cmap
+
+
+def synthetic_trace(iterations: int):
+    """One loop with `iterations` iterations, two accesses each."""
+    yield Checkpoint(10, B)
+    for index in range(iterations):
+        yield Checkpoint(11, S)
+        yield Access(0x400100, 0x10000000 + 4 * index, 4, False)
+        yield Access(0x400204, 0x20000000 + 8 * index, 8, True)
+        yield Checkpoint(12, E)
+
+
+def run_extractor(iterations: int) -> ForayExtractor:
+    extractor = ForayExtractor(make_map())
+    extractor.consume(synthetic_trace(iterations))
+    return extractor
+
+
+@pytest.mark.parametrize("iterations", [1_000, 4_000, 16_000])
+def test_throughput(benchmark, iterations):
+    """Records/second should be flat across trace lengths (linear time)."""
+    extractor = benchmark.pedantic(
+        run_extractor, args=(iterations,), rounds=3, iterations=1
+    )
+    model = extractor.finish()
+    assert len(model.references) == 2
+    benchmark.extra_info["records"] = 4 * iterations + 1
+
+
+def test_constant_analysis_state(results_dir, benchmark):
+    """Excluding footprint bookkeeping, analysis state must not grow with
+    the trace: one loop node and one solver per reference, regardless of
+    length. (The paper's constant-space claim; footprints are kept here
+    only to report Table III.)"""
+
+    def state_size(iterations):
+        extractor = run_extractor(iterations)
+        root = extractor.loop_tree_root
+        nodes = sum(1 for _ in root.iter_subtree())
+        solvers = sum(len(node.references) for node in root.iter_subtree())
+        return nodes, solvers
+
+    small = state_size(500)
+    large = benchmark.pedantic(state_size, args=(8_000,), rounds=1, iterations=1)
+    assert small == large == (2, 2)
+    write_result(
+        results_dir, "scaling.txt",
+        f"analysis state (nodes, solvers): {small} at 500 iters, "
+        f"{large} at 8000 iters (constant)",
+    )
+
+
+def test_streaming_needs_no_trace_storage(benchmark):
+    """The extractor must work as a pure sink over a generator — no list
+    of records is ever materialized."""
+    def run():
+        extractor = ForayExtractor(make_map())
+        for record in synthetic_trace(2_000):
+            extractor.emit(record)
+        return extractor.finish()
+
+    model = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert model.references[0].exec_count == 2_000

@@ -1,0 +1,104 @@
+"""End-to-end value of FORAY-GEN for SPM optimization (Phase II).
+
+The paper's motivation: doubling the analyzable references widens the
+reach of SPM optimization. This bench quantifies that on the mini-MiBench
+suite by running the same reuse-analysis + knapsack allocation twice per
+benchmark:
+
+* **with FORAY-GEN** — over the full extracted model;
+* **static only** — restricted to the references the static baseline
+  could already see in the source.
+
+The energy saved by the extra (FORAY-GEN-only) references is the payoff
+the paper argues for. A capacity sweep per benchmark is also recorded.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.sim.trace import node_id_of_pc
+from repro.spm.allocator import allocate
+from repro.spm.candidates import enumerate_candidates
+from repro.spm.energy import EnergyModel
+from repro.spm.explore import explore
+from repro.workloads.registry import workload_names
+
+SPM_BYTES = 4096
+
+
+def split_allocations(report, capacity=SPM_BYTES):
+    energy = EnergyModel()
+    candidates = enumerate_candidates(report.model, energy)
+    static_ok = {
+        ref.pc
+        for ref in report.model.references
+        if report.static_result.is_analyzable_ref(node_id_of_pc(ref.pc))
+    }
+    static_candidates = [c for c in candidates if c.reference.pc in static_ok]
+    return (
+        allocate(candidates, capacity),
+        allocate(static_candidates, capacity),
+    )
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_foray_vs_static_spm_benefit(benchmark, suite_reports, name):
+    report = suite_reports[name]
+    with_foray, static_only = benchmark.pedantic(
+        split_allocations, args=(report,), rounds=1, iterations=1
+    )
+    # FORAY-GEN can only widen the optimization space.
+    assert with_foray.total_benefit_nj >= static_only.total_benefit_nj - 1e-9
+    benchmark.extra_info["saved_nj_foray"] = round(with_foray.total_benefit_nj)
+    benchmark.extra_info["saved_nj_static"] = round(static_only.total_benefit_nj)
+
+
+def test_emit_spm_comparison(suite_reports, results_dir, benchmark):
+    def build():
+        lines = [
+            f"SPM ({SPM_BYTES} B) energy saving: FORAY-GEN model vs "
+            "static-only references",
+            f"{'benchmark':>10} {'foray nJ':>12} {'static nJ':>12} {'gain':>8}",
+        ]
+        total_foray = total_static = 0.0
+        for name, report in suite_reports.items():
+            with_foray, static_only = split_allocations(report)
+            total_foray += with_foray.total_benefit_nj
+            total_static += static_only.total_benefit_nj
+            gain = (
+                with_foray.total_benefit_nj
+                / max(1e-9, static_only.total_benefit_nj)
+            )
+            gain_text = f"{gain:.2f}x" if static_only.total_benefit_nj else "inf"
+            lines.append(
+                f"{name:>10} {with_foray.total_benefit_nj:>12.0f} "
+                f"{static_only.total_benefit_nj:>12.0f} {gain_text:>8}"
+            )
+        lines.append(
+            f"{'TOTAL':>10} {total_foray:>12.0f} {total_static:>12.0f}"
+        )
+        return "\n".join(lines), total_foray, total_static
+
+    text, total_foray, total_static = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    write_result(results_dir, "spm_benefit.txt", text)
+    # The suite-wide benefit with FORAY-GEN must exceed static-only.
+    assert total_foray > total_static
+
+
+@pytest.mark.parametrize("name", ["gsm", "lame"])
+def test_capacity_sweep(benchmark, suite_reports, results_dir, name):
+    """Design-space exploration (Figure 3, Phase II step 3) per workload."""
+    model = suite_reports[name].model
+    points = benchmark.pedantic(explore, args=(model,), rounds=1, iterations=1)
+    benefits = [p.benefit_nj for p in points]
+    assert benefits == sorted(benefits)  # monotone in capacity
+    lines = [f"{name} SPM capacity sweep",
+             f"{'bytes':>8} {'buffers':>8} {'saved nJ':>12} {'saving':>8}"]
+    for p in points:
+        lines.append(
+            f"{p.capacity_bytes:>8} {p.buffer_count:>8} "
+            f"{p.benefit_nj:>12.0f} {p.saving_fraction:>7.1%}"
+        )
+    write_result(results_dir, f"spm_sweep_{name}.txt", "\n".join(lines))

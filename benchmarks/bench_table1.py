@@ -1,0 +1,36 @@
+"""Table I — benchmark complexity and loop distribution.
+
+Regenerates the paper's Table I rows (lines of code, executed loops,
+for/while/do breakdown) for the six mini-MiBench workloads, and times the
+full Phase-I profiling pipeline per benchmark (annotate + simulate +
+analyze in one streaming pass).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.report import format_table1
+from repro.pipeline import run_workload
+from repro.workloads.registry import MIBENCH_WORKLOADS, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_profile_pipeline(benchmark, name):
+    """Time the full annotate->profile->analyze pipeline per benchmark."""
+    workload = MIBENCH_WORKLOADS[name]
+    report = benchmark.pedantic(
+        run_workload, args=(name, workload.source), rounds=1, iterations=1
+    )
+    census = report.census
+    assert census.total_loops > 0
+    benchmark.extra_info["loops"] = census.total_loops
+    benchmark.extra_info["for_pct"] = round(census.for_pct)
+    benchmark.extra_info["accesses"] = report.table3.total_accesses
+
+
+def test_emit_table1(suite_reports, results_dir, benchmark):
+    """Render Table I (timed: formatting only) and record it."""
+    rows = [report.census for report in suite_reports.values()]
+    text = benchmark(format_table1, rows)
+    write_result(results_dir, "table1.txt", text)
+    assert "adpcm" in text

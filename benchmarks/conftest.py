@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Workload profiling is the expensive step (seconds per benchmark), so the
+six suite reports are computed once per session and reused by every table
+bench. Each bench also writes its regenerated table into
+``benchmarks/results/`` so the paper comparison survives output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.pipeline import WorkloadReport, run_workload
+from repro.workloads.registry import MIBENCH_WORKLOADS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite_reports() -> dict[str, WorkloadReport]:
+    return {
+        name: run_workload(name, workload.source)
+        for name, workload in MIBENCH_WORKLOADS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print()
+    print(text)

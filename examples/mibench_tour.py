@@ -1,0 +1,40 @@
+"""Run the full mini-MiBench evaluation and print the paper's three tables.
+
+This regenerates the data behind Tables I, II and III side by side with
+the paper's published numbers (absolute counts differ — the workloads are
+scaled-down counterparts; see EXPERIMENTS.md).
+
+Run:  python examples/mibench_tour.py           (all six benchmarks, ~30 s)
+      python examples/mibench_tour.py adpcm fft (a subset)
+"""
+
+import sys
+
+from repro.analysis.report import (
+    format_table1,
+    format_table2,
+    format_table3,
+    summarize_headline,
+)
+from repro.pipeline import run_suite
+
+
+def main() -> None:
+    names = tuple(sys.argv[1:]) or None
+    reports = run_suite(names)
+
+    print("=== Table I: benchmark complexity and loop distribution ===")
+    print(format_table1([r.census for r in reports]))
+    print()
+    print("=== Table II: loops and references converted into FORAY form ===")
+    print(format_table2([r.table2 for r in reports]))
+    print()
+    print("=== Table III: memory behaviour of the FORAY models ===")
+    print(format_table3([r.table3 for r in reports]))
+    print()
+    print("=== Headline ===")
+    print(summarize_headline([r.table2 for r in reports]))
+
+
+if __name__ == "__main__":
+    main()

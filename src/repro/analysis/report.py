@@ -1,0 +1,141 @@
+"""Paper-style text rendering of Tables I–III and paper comparisons."""
+
+from __future__ import annotations
+
+from repro.analysis.census import LoopCensus
+from repro.analysis.coverage import ForayFormCoverage, MemoryBehavior
+from repro.analysis.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def format_table1(rows: list[LoopCensus], with_paper: bool = True) -> str:
+    """Table I: benchmark complexity and loop distribution."""
+    headers = ["benchmark", "lines", "loops", "for%", "while%", "do%"]
+    if with_paper:
+        headers += ["paper:loops", "paper:for%", "paper:while%", "paper:do%"]
+    body = []
+    for row in rows:
+        cells = [
+            row.name,
+            str(row.lines),
+            str(row.total_loops),
+            f"{row.for_pct:.0f}",
+            f"{row.while_pct:.0f}",
+            f"{row.do_pct:.0f}",
+        ]
+        if with_paper:
+            paper = PAPER_TABLE1.get(row.name)
+            if paper is not None:
+                cells += [
+                    str(paper.total_loops),
+                    f"{paper.for_pct:.0f}",
+                    f"{paper.while_pct:.0f}",
+                    f"{paper.do_pct:.0f}",
+                ]
+            else:
+                cells += ["-", "-", "-", "-"]
+        body.append(cells)
+    return _table(headers, body)
+
+
+def format_table2(rows: list[ForayFormCoverage], with_paper: bool = True) -> str:
+    """Table II: loops and references converted into FORAY form."""
+    headers = [
+        "benchmark", "loops", "refs", "loops-not-src%", "refs-not-src%", "ratio",
+    ]
+    if with_paper:
+        headers += ["paper:loops-not%", "paper:refs-not%"]
+    body = []
+    for row in rows:
+        ratio = row.improvement_ratio
+        cells = [
+            row.name,
+            str(row.loops_in_model),
+            str(row.refs_in_model),
+            f"{row.loops_not_in_source_form_pct:.0f}",
+            f"{row.refs_not_in_source_form_pct:.0f}",
+            "inf" if ratio == float("inf") else f"{ratio:.2f}",
+        ]
+        if with_paper:
+            paper = PAPER_TABLE2.get(row.name)
+            if paper is not None:
+                cells += [
+                    f"{paper.loops_not_in_form_pct:.0f}",
+                    f"{paper.refs_not_in_form_pct:.0f}",
+                ]
+            else:
+                cells += ["-", "-"]
+        body.append(cells)
+    return _table(headers, body)
+
+
+def format_table3(rows: list[MemoryBehavior], with_paper: bool = True) -> str:
+    """Table III: memory behaviour of the FORAY models."""
+    headers = [
+        "benchmark", "refs", "accesses", "footprint",
+        "model:ref%", "model:acc%", "model:fp%",
+        "lib:ref%", "lib:acc%", "lib:fp%",
+    ]
+    if with_paper:
+        headers += ["paper:acc%", "paper:fp%"]
+    body = []
+    for row in rows:
+        cells = [
+            row.name,
+            str(row.total_references),
+            str(row.total_accesses),
+            str(row.total_footprint),
+            f"{row.model_refs_pct:.1f}",
+            f"{row.model_accesses_pct:.0f}",
+            f"{row.model_footprint_pct:.0f}",
+            f"{row.lib_refs_pct:.0f}",
+            f"{row.lib_accesses_pct:.0f}",
+            f"{row.lib_footprint_pct:.0f}",
+        ]
+        if with_paper:
+            paper = PAPER_TABLE3.get(row.name)
+            if paper is not None:
+                cells += [
+                    f"{paper.model_accesses_pct:.0f}",
+                    f"{paper.model_footprint_pct:.0f}",
+                ]
+            else:
+                cells += ["-", "-"]
+        body.append(cells)
+    return _table(headers, body)
+
+
+def summarize_headline(rows: list[ForayFormCoverage]) -> str:
+    """The paper's headline metric: average improvement in analyzable refs."""
+    finite = [r.improvement_ratio for r in rows if r.improvement_ratio != float("inf")]
+    total_model = sum(r.refs_in_model for r in rows)
+    total_static = sum(r.refs_in_source_form for r in rows)
+    overall = total_model / total_static if total_static else float("inf")
+    lines = [
+        f"analyzable references: {total_static} static -> {total_model} with "
+        f"FORAY-GEN ({'inf' if overall == float('inf') else f'{overall:.2f}x'})",
+    ]
+    if finite:
+        mean = sum(finite) / len(finite)
+        lines.append(
+            f"mean per-benchmark improvement (finite ratios): {mean:.2f}x "
+            "(paper: ~2x)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``extract FILE``
+    Run Phase I on a MiniC source file and print the FORAY model
+    (optionally the annotated source and hints).
+
+``suite [NAMES...]``
+    Run the mini-MiBench evaluation and print Tables I–III plus the
+    headline metric.
+
+``figures``
+    Reproduce all paper figure examples.
+
+``spm FILE``
+    Run the full Phase I+II flow on a source file and print the
+    transformed FORAY model and the capacity sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import (
+    format_table1,
+    format_table2,
+    format_table3,
+    summarize_headline,
+)
+from repro.foray.emitter import emit_model
+from repro.foray.filters import FilterConfig
+from repro.foray.hints import inlining_hints
+from repro.lang.printer import to_source
+from repro.pipeline import extract_foray_model, full_flow, run_suite
+from repro.spm.explore import explore
+from repro.workloads.registry import FIGURE_WORKLOADS
+
+
+def _add_filter_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nexec", type=int, default=20,
+                        help="step-4 minimum executions (paper: 20)")
+    parser.add_argument("--nloc", type=int, default=10,
+                        help="step-4 minimum distinct locations (paper: 10)")
+
+
+def _filter_from(args) -> FilterConfig:
+    return FilterConfig(nexec=args.nexec, nloc=args.nloc)
+
+
+def cmd_extract(args) -> int:
+    source = open(args.file).read()
+    result = extract_foray_model(source, _filter_from(args))
+    if args.annotated:
+        print("/* annotated source */")
+        print(to_source(result.compiled.program))
+    print(emit_model(result.model))
+    if args.hints:
+        for hint in inlining_hints(result.model, result.compiled.program):
+            print("hint:", hint.describe())
+    stats = result.model.trace_stats
+    print(
+        f"/* {len(result.model.references)} references, "
+        f"{result.model.loop_count} loops, "
+        f"{stats.total_accesses} accesses profiled */"
+    )
+    return 0
+
+
+def cmd_suite(args) -> int:
+    names = tuple(args.names) or None
+    reports = run_suite(names, _filter_from(args))
+    print(format_table1([r.census for r in reports]))
+    print()
+    print(format_table2([r.table2 for r in reports]))
+    print()
+    print(format_table3([r.table3 for r in reports]))
+    print()
+    print(summarize_headline([r.table2 for r in reports]))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    relaxed = FilterConfig(nexec=1, nloc=1)
+    for name, workload in FIGURE_WORKLOADS.items():
+        print(f"=== {name}: {workload.description} ===")
+        result = extract_foray_model(workload.source, relaxed)
+        print(emit_model(result.model))
+    return 0
+
+
+def cmd_spm(args) -> int:
+    source = open(args.file).read()
+    flow = full_flow(args.file, source, spm_bytes=args.spm_bytes,
+                     filter_config=_filter_from(args))
+    print(flow.report.extraction.foray_source)
+    print(flow.transformed_source)
+    print(f"{'bytes':>8} {'buffers':>8} {'saved nJ':>12}")
+    for point in explore(flow.report.model):
+        print(f"{point.capacity_bytes:>8} {point.buffer_count:>8} "
+              f"{point.benefit_nj:>12.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FORAY-GEN (DATE 2005) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_extract = sub.add_parser("extract", help="Phase I on a MiniC file")
+    p_extract.add_argument("file")
+    p_extract.add_argument("--annotated", action="store_true",
+                           help="also print the checkpoint-annotated source")
+    p_extract.add_argument("--hints", action="store_true",
+                           help="print function-duplication hints")
+    _add_filter_args(p_extract)
+    p_extract.set_defaults(func=cmd_extract)
+
+    p_suite = sub.add_parser("suite", help="Tables I-III on mini-MiBench")
+    p_suite.add_argument("names", nargs="*",
+                         help="benchmark subset (default: all six)")
+    _add_filter_args(p_suite)
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_figures = sub.add_parser("figures", help="reproduce the paper figures")
+    p_figures.set_defaults(func=cmd_figures)
+
+    p_spm = sub.add_parser("spm", help="Phases I+II on a MiniC file")
+    p_spm.add_argument("file")
+    p_spm.add_argument("--spm-bytes", type=int, default=4096)
+    _add_filter_args(p_spm)
+    p_spm.set_defaults(func=cmd_spm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

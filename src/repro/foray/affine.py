@@ -1,0 +1,194 @@
+"""Algorithm 3 — online identification of (partial) affine index expressions.
+
+One :class:`ReferenceSolver` exists per (loop-tree node, instruction pc)
+pair. Every executed access of the reference calls :meth:`observe` with the
+access address and the current iterator vector (innermost loop first), and
+the solver incrementally maintains:
+
+* ``CONST`` — the constant term (initially the first address seen);
+* ``C1..CN`` — iterator coefficients, each ``None`` (the paper's UNKNOWN)
+  until the iterator is observed changing *alone* among the unknowns;
+* ``M`` — how many innermost iterators form the (partial) expression;
+* ``S1..SN`` — the misprediction bookkeeping vector of the paper's step 6.
+
+The constant-term update on misprediction (``CONST += IND − INDC``) is what
+turns data-dependent base addresses (reallocated local arrays, offsets
+passed into functions — paper Figure 7) into *partial* affine expressions
+over the innermost M iterators.
+
+Note on the coefficient formula: the paper's step 3 prints
+``ADJ = Σ ITi·Ci`` over changed known-coefficient iterators, but its own
+worked example (Figure 4: coefficient 103 for the outer ``while``) requires
+the delta form ``ADJ = Σ (ITi − ITPi)·Ci``; we implement the delta form
+(see DESIGN.md) and reproduce the paper's numbers in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.foray.model import AffineExpression
+
+
+class ReferenceSolver:
+    """Online affine-expression solver for one memory reference."""
+
+    __slots__ = (
+        "pc",
+        "nest_depth",
+        "const",
+        "const_first",
+        "coefficients",
+        "num_iterators",
+        "s_vector",
+        "prev_iterators",
+        "prev_addr",
+        "exec_count",
+        "reads",
+        "writes",
+        "addresses",
+        "non_analyzable",
+        "mispredictions",
+        "access_size",
+    )
+
+    def __init__(self, pc: int, nest_depth: int):
+        self.pc = pc
+        self.nest_depth = nest_depth  # N
+        self.const = 0  # CONST
+        self.const_first = 0  # first address (used for emission)
+        self.coefficients: list[int | None] = []  # C1..CN; None = UNKNOWN
+        self.num_iterators = nest_depth  # M
+        self.s_vector: list[int] = []  # S1..SN
+        self.prev_iterators: tuple[int, ...] = ()  # ITP1..ITPN
+        self.prev_addr = 0  # INDP
+        self.exec_count = 0
+        self.reads = 0
+        self.writes = 0
+        self.addresses: set[int] = set()
+        self.non_analyzable = False
+        self.mispredictions = 0
+        #: Largest access width observed (bytes) — element size estimate
+        #: used by the SPM phase to turn footprints into buffer bytes.
+        self.access_size = 1
+
+    # ------------------------------------------------------------------
+
+    def observe(self, addr: int, iterators: tuple[int, ...], is_write: bool,
+                size: int = 1) -> None:
+        """Process one executed access (the body of the paper's Algorithm 3).
+
+        ``iterators`` are the current loop counters, innermost first; their
+        length must equal the solver's nest depth.
+        """
+        self.exec_count += 1
+        if size > self.access_size:
+            self.access_size = size
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.addresses.add(addr)
+
+        if self.exec_count == 1:
+            # Step 1: first encounter.
+            self.const = addr
+            self.const_first = addr
+            self.coefficients = [None] * self.nest_depth
+            self.s_vector = [0] * self.nest_depth
+            self.num_iterators = self.nest_depth
+            self.prev_iterators = iterators
+            self.prev_addr = addr
+            return
+
+        if self.non_analyzable:
+            # Step 4 already gave up on the expression; keep only counters.
+            self.prev_iterators = iterators
+            self.prev_addr = addr
+            return
+
+        previous = self.prev_iterators
+        coefficients = self.coefficients
+
+        # Step 2: iterators that changed while their coefficient is UNKNOWN.
+        unknown_changed = [
+            i
+            for i in range(self.nest_depth)
+            if iterators[i] != previous[i] and coefficients[i] is None
+        ]
+
+        if len(unknown_changed) == 1:
+            # Step 3: solve for the single unknown coefficient.
+            k = unknown_changed[0]
+            adjust = 0
+            for i in range(self.nest_depth):
+                coefficient = coefficients[i]
+                if i != k and coefficient is not None and iterators[i] != previous[i]:
+                    adjust += coefficient * (iterators[i] - previous[i])
+            delta_iter = iterators[k] - previous[k]
+            numerator = addr - adjust - self.prev_addr
+            coefficient, remainder = divmod(numerator, delta_iter)
+            if remainder != 0:
+                # A truly affine reference always divides exactly; a
+                # fractional result means the pattern is not affine in this
+                # iterator. Recording 0 makes step 6 absorb the difference
+                # into the constant term (demoting the expression to
+                # partial) instead of silently using a wrong coefficient.
+                coefficient = 0
+            coefficients[k] = coefficient
+        elif len(unknown_changed) > 1:
+            # Step 4: several unknowns changed together — give up.
+            self.non_analyzable = True
+            self.prev_iterators = iterators
+            self.prev_addr = addr
+            return
+
+        # Step 5: predict the address with the known coefficients.
+        predicted = self.const
+        for i in range(self.nest_depth):
+            coefficient = coefficients[i]
+            if coefficient is not None:
+                predicted += coefficient * iterators[i]
+
+        # Step 6: on misprediction, adjust CONST and shrink M.
+        if predicted != addr:
+            self.mispredictions += 1
+            for i in range(self.nest_depth):
+                if iterators[i] == previous[i]:
+                    self.s_vector[i] = 1
+            self.const += addr - predicted
+            # Paper: M = (last 1-based i with S_i = 0) - 1, or 0 when the
+            # whole vector is marked; with 0-based indices that is simply
+            # the last index whose S is 0.
+            m = 0
+            for i in range(self.nest_depth):
+                if self.s_vector[i] == 0:
+                    m = i
+            self.num_iterators = m
+
+        # Step 7: remember state for the next execution.
+        self.prev_iterators = iterators
+        self.prev_addr = addr
+
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def is_full(self) -> bool:
+        return self.mispredictions == 0 and self.num_iterators == self.nest_depth
+
+    def expression(self) -> AffineExpression:
+        """The (partial) affine expression in its final state.
+
+        The constant term is the *first* base address (matching the paper's
+        emitted models, whose constants are the initial array bases); for
+        partial expressions the constant is only valid within one
+        invocation of the outer context.
+        """
+        return AffineExpression(
+            const=self.const_first,
+            coefficients=tuple(self.coefficients)
+            or tuple([None] * self.nest_depth),
+            num_iterators=self.num_iterators,
+        )

@@ -1,0 +1,86 @@
+"""Emission of the FORAY model as C source (paper Figures 2 and 4d).
+
+Each group of references sharing the same effective loop nest is emitted as
+one perfect ``for`` nest whose iterators are named after the loop-begin
+checkpoint ids (``i15``), with the reference rendered as an array access
+whose array is named after the instruction pc (``A4002a0``)::
+
+    for (int i12 = 0; i12 < 2; i12++)
+        for (int i15 = 0; i15 < 3; i15++)
+            A4002a0[2147440948+1*i15+103*i12];
+
+Partial affine references are emitted under their M innermost loops with a
+comment noting that the constant term changes with the outer context
+(paper Figure 7 discussion). ``extern`` declarations make the emitted text
+self-contained C.
+"""
+
+from __future__ import annotations
+
+from repro.foray.model import ForayModel, ForayReference
+
+_INDENT = "    "
+
+
+def _nest_key(reference: ForayReference) -> tuple[int, ...]:
+    """Group key: the uids of the effective (inner M) loops."""
+    return tuple(loop.uid for loop in reference.effective_loops)
+
+
+def emit_model(model: ForayModel, include_extern_decls: bool = True,
+               include_comments: bool = True) -> str:
+    """Render ``model`` as FORAY-form C text."""
+    groups: dict[tuple[int, ...], list[ForayReference]] = {}
+    order: list[tuple[int, ...]] = []
+    for reference in model.references:
+        key = _nest_key(reference)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(reference)
+
+    lines: list[str] = []
+    if include_extern_decls:
+        names = sorted({ref.array_name for ref in model.references})
+        for name in names:
+            lines.append(f"extern char {name}[];")
+        if names:
+            lines.append("")
+
+    for key in order:
+        references = groups[key]
+        loops = references[0].effective_loops
+        for depth, loop in enumerate(loops):
+            indent = _INDENT * depth
+            header = (
+                f"for (int {loop.name} = 0; {loop.name} < {loop.max_trip}; "
+                f"{loop.name}++)"
+            )
+            if include_comments and not loop.has_constant_trip:
+                header += f"  /* trip varies: {loop.min_trip}..{loop.max_trip} */"
+            if include_comments and loop.kind != "for":
+                header += f"  /* originally a {loop.kind} loop */"
+            lines.append(indent + header)
+        body_indent = _INDENT * len(loops)
+        for reference in references:
+            stmt = f"{reference.array_name}[{reference.index_text()}];"
+            if include_comments:
+                details = [
+                    f"{reference.exec_count} accesses",
+                    f"footprint {reference.footprint}",
+                ]
+                if reference.writes and reference.reads:
+                    details.append("rd/wr")
+                elif reference.writes:
+                    details.append("wr")
+                else:
+                    details.append("rd")
+                if not reference.is_full:
+                    details.append("partial: const varies with outer context")
+                stmt += "  /* " + ", ".join(details) + " */"
+            lines.append(body_indent + stmt)
+        lines.append("")
+
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,46 @@
+"""Step 4 of Algorithm 1 — purging uninteresting memory references.
+
+The paper keeps only references that
+
+* have an affine index expression including at least one iterator
+  (excludes irregular patterns and scalars),
+* executed at least ``Nexec`` times (paper value: 20),
+* touched at least ``Nloc`` distinct locations (paper value: 10 — small
+  arrays that fit in the SPM whole are better handled by object-level
+  techniques [8][9][10]).
+
+Non-analyzable references (several unknown-coefficient iterators changed
+together, Algorithm 3 step 4) are always dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.foray.model import ForayReference
+
+#: Paper values (Section 4).
+PAPER_NEXEC = 20
+PAPER_NLOC = 10
+
+
+@dataclass(frozen=True)
+class FilterConfig:
+    """Thresholds of the step-4 purge heuristic."""
+
+    nexec: int = PAPER_NEXEC
+    nloc: int = PAPER_NLOC
+    require_iterator: bool = True
+
+    def keep(self, reference: ForayReference) -> bool:
+        """Whether ``reference`` survives the purge."""
+        if self.require_iterator and not reference.expression.includes_iterator():
+            return False
+        if reference.exec_count < self.nexec:
+            return False
+        if reference.footprint < self.nloc:
+            return False
+        return True
+
+    def apply(self, references: list[ForayReference]) -> list[ForayReference]:
+        return [ref for ref in references if self.keep(ref)]

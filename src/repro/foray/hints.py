@@ -1,0 +1,100 @@
+"""Inter-function optimization hints (paper Section 4, Figure 9).
+
+The FORAY model has no function hierarchy — functions appear inlined
+because loop-tree nodes are identified by their dynamic path. When the same
+static memory reference (same pc) shows up under several loop-tree
+contexts, the enclosing function was called from several places; if the
+access patterns differ between the contexts, the paper suggests duplicating
+(specializing) the function so each call site can be optimized separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.foray.model import ForayModel, ForayReference
+from repro.lang import ast_nodes as ast
+from repro.sim.trace import node_id_of_pc
+
+
+@dataclass(frozen=True)
+class InliningHint:
+    """One pc observed in several dynamic contexts."""
+
+    pc: int
+    function_name: str | None
+    contexts: tuple[ForayReference, ...]
+    #: True when the contexts disagree on coefficients or constants —
+    #: the case where duplicating the function helps (Figure 9).
+    patterns_differ: bool
+
+    @property
+    def context_count(self) -> int:
+        return len(self.contexts)
+
+    def describe(self) -> str:
+        where = f"function {self.function_name!r}" if self.function_name else "code"
+        verdict = (
+            "access patterns differ between call contexts; consider "
+            "duplicating the function so each context can be optimized "
+            "separately"
+            if self.patterns_differ
+            else "access patterns agree; a single optimized version suffices"
+        )
+        return (
+            f"reference {self.contexts[0].array_name} in {where} appears in "
+            f"{self.context_count} contexts: {verdict}"
+        )
+
+
+def _pattern_signature(reference: ForayReference):
+    expr = reference.expression
+    return (expr.used_coefficients(), expr.const, expr.num_iterators,
+            tuple(loop.max_trip for loop in reference.effective_loops))
+
+
+def function_of_node(program: ast.Program, node_id: int) -> str | None:
+    """Name of the function whose body contains AST node ``node_id``."""
+    for fn in program.functions:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Node) and node.node_id == node_id:
+                return fn.name
+    return None
+
+
+def inlining_hints(
+    model: ForayModel,
+    program: ast.Program | None = None,
+    include_filtered_out: bool = True,
+) -> list[InliningHint]:
+    """Compute inlining/duplication hints for a FORAY model.
+
+    ``include_filtered_out`` also considers analyzable references that the
+    step-4 purge removed — a reference can be uninteresting in one context
+    but interesting in another, and the hint is about the function, not one
+    context.
+    """
+    pool = (
+        model.unfiltered_references if include_filtered_out else model.references
+    )
+    by_pc: dict[int, list[ForayReference]] = {}
+    for reference in pool:
+        by_pc.setdefault(reference.pc, []).append(reference)
+
+    hints: list[InliningHint] = []
+    for pc, contexts in sorted(by_pc.items()):
+        if len(contexts) < 2:
+            continue
+        signatures = {_pattern_signature(ref) for ref in contexts}
+        name = None
+        if program is not None:
+            name = function_of_node(program, node_id_of_pc(pc))
+        hints.append(
+            InliningHint(
+                pc=pc,
+                function_name=name,
+                contexts=tuple(contexts),
+                patterns_differ=len(signatures) > 1,
+            )
+        )
+    return hints

@@ -1,0 +1,144 @@
+"""Validation of a FORAY model against a (possibly different) trace.
+
+The paper's future work asks how dependent the FORAY model is on the
+profiling input. This module answers it operationally: replay any trace
+against an extracted model and measure, per reference, how many accesses
+the model's affine expression predicts exactly.
+
+* Full references are predicted from the expression alone.
+* Partial references are allowed to re-base their constant whenever an
+  iterator outside the expression (or a context re-entry) changes — the
+  semantics the paper gives them — and are scored on the accesses in
+  between.
+
+Typical use::
+
+    model = extract_foray_model(source).model           # profile input A
+    report = validate_model(model, records_b, cmap)     # replay input B
+    assert report.overall_accuracy > 0.95
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.foray.looptree import LoopTreeBuilder
+from repro.foray.model import ForayModel, ForayReference
+from repro.sim.trace import Access, CheckpointMap, TraceRecord, is_library_pc
+
+
+@dataclass
+class ReferenceValidation:
+    """Prediction accuracy of one model reference on one trace."""
+
+    reference: ForayReference
+    checked: int = 0
+    predicted: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.predicted / self.checked if self.checked else 1.0
+
+
+@dataclass
+class ValidationReport:
+    per_reference: list[ReferenceValidation] = field(default_factory=list)
+    #: Model references never exercised by the replayed trace.
+    unexercised: int = 0
+
+    @property
+    def total_checked(self) -> int:
+        return sum(v.checked for v in self.per_reference)
+
+    @property
+    def total_predicted(self) -> int:
+        return sum(v.predicted for v in self.per_reference)
+
+    @property
+    def overall_accuracy(self) -> float:
+        checked = self.total_checked
+        return self.total_predicted / checked if checked else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total_predicted}/{self.total_checked} accesses predicted "
+            f"({self.overall_accuracy:.1%}) across "
+            f"{len(self.per_reference)} references; "
+            f"{self.unexercised} unexercised"
+        )
+
+
+class _RefState:
+    __slots__ = ("validation", "expression", "rebase", "offset", "anchor_iters")
+
+    def __init__(self, validation: ReferenceValidation):
+        self.validation = validation
+        self.expression = validation.reference.expression
+        #: Partial expressions may re-anchor their constant per context.
+        self.rebase = not validation.reference.is_full
+        self.offset: int | None = None
+        self.anchor_iters: tuple[int, ...] | None = None
+
+
+def validate_model(
+    model: ForayModel,
+    records: Iterable[TraceRecord],
+    checkpoint_map: CheckpointMap,
+) -> ValidationReport:
+    """Replay ``records`` and score every model reference's predictions.
+
+    References are matched by (loop-begin-id path, pc), which is stable
+    across runs of the same instrumented program.
+    """
+    report = ValidationReport()
+    states: dict[tuple[tuple[int, ...], int], _RefState] = {}
+    for reference in model.references:
+        validation = ReferenceValidation(reference)
+        report.per_reference.append(validation)
+        path_key = tuple(loop.begin_id for loop in reference.loop_path)
+        states[(path_key, reference.pc)] = _RefState(validation)
+
+    builder = LoopTreeBuilder(checkpoint_map)
+    for record in records:
+        if not isinstance(record, Access):
+            builder.on_checkpoint(record)
+            continue
+        if is_library_pc(record.pc):
+            continue
+        node = builder.current
+        path_key = tuple(n.begin_id for n in node.path_from_root())
+        state = states.get((path_key, record.pc))
+        if state is None:
+            continue
+        _score_access(state, record.addr, builder.current_iterators())
+
+    report.unexercised = sum(
+        1 for validation in report.per_reference if validation.checked == 0
+    )
+    return report
+
+
+def _score_access(state: _RefState, addr: int, iterators: tuple[int, ...]) -> None:
+    expression = state.expression
+    m = expression.num_iterators
+    inner = iterators[:m]
+    inner_part = sum(
+        coefficient * value
+        for coefficient, value in zip(expression.used_coefficients(), inner)
+    )
+    if state.rebase:
+        outer = iterators[m:]
+        if state.offset is None or state.anchor_iters != outer:
+            # New outer context: re-anchor the constant (partial affine
+            # semantics) and do not score this access.
+            state.offset = addr - inner_part
+            state.anchor_iters = outer
+            return
+        predicted = state.offset + inner_part
+    else:
+        predicted = expression.const + inner_part
+
+    state.validation.checked += 1
+    if predicted == addr:
+        state.validation.predicted += 1

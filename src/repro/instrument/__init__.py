@@ -1,0 +1,5 @@
+"""Source instrumentation passes (step 1 of the paper's Algorithm 1)."""
+
+from repro.instrument.checkpoints import CheckpointAnnotator, instrument
+
+__all__ = ["CheckpointAnnotator", "instrument"]

@@ -1,0 +1,447 @@
+"""AST node definitions for MiniC.
+
+Nodes are plain mutable classes (not frozen dataclasses) because the
+semantic analyzer annotates them in place (``ctype``, ``symbol``,
+``node_id``) and the instrumentation pass assigns checkpoint ids to loop
+nodes in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ctypes_ import CType
+from repro.lang.errors import SourceLocation
+
+
+class Node:
+    """Base class for every AST node."""
+
+    __slots__ = ("location", "node_id")
+
+    def __init__(self, location: SourceLocation | None = None):
+        self.location = location or SourceLocation()
+        #: Unique pre-order id assigned by the semantic analyzer; used to
+        #: derive synthetic instruction pcs for memory-access sites.
+        self.node_id: int = -1
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("ctype",)
+
+    def __init__(self, location: SourceLocation | None = None):
+        super().__init__(location)
+        #: Result type, filled in by the semantic analyzer.
+        self.ctype: CType | None = None
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location: SourceLocation | None = None):
+        super().__init__(location)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, location: SourceLocation | None = None):
+        super().__init__(location)
+        self.value = value
+
+
+class StringLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, location: SourceLocation | None = None):
+        super().__init__(location)
+        self.value = value
+
+
+class Identifier(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, location: SourceLocation | None = None):
+        super().__init__(location)
+        self.name = name
+        #: Resolved symbol (see :mod:`repro.lang.semantics`).
+        self.symbol = None
+
+
+class Unary(Expr):
+    """Prefix unary operator: one of ``- ! ~ + * &``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+
+class IncDec(Expr):
+    """``++``/``--`` in prefix or postfix position."""
+
+    __slots__ = ("op", "operand", "is_postfix")
+
+    def __init__(self, op: str, operand: Expr, is_postfix: bool, location=None):
+        super().__init__(location)
+        self.op = op  # "++" or "--"
+        self.operand = operand
+        self.is_postfix = is_postfix
+
+
+class Binary(Expr):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Expr):
+    """Assignment; ``op`` is "" for plain ``=`` or the compound operator
+    without the trailing ``=`` (e.g. ``"+"`` for ``+=``)."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op: str, target: Expr, value: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.target = target
+        self.value = value
+
+
+class Ternary(Expr):
+    __slots__ = ("cond", "then_expr", "else_expr")
+
+    def __init__(self, cond: Expr, then_expr: Expr, else_expr: Expr, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.then_expr = then_expr
+        self.else_expr = else_expr
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "is_builtin")
+
+    def __init__(self, name: str, args: list[Expr], location=None):
+        super().__init__(location)
+        self.name = name
+        self.args = args
+        #: Set by the semantic analyzer when the callee is a library builtin.
+        self.is_builtin = False
+
+
+class Index(Expr):
+    """``base[index]`` subscript."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Expr, index: Expr, location=None):
+        super().__init__(location)
+        self.base = base
+        self.index = index
+
+
+class Member(Expr):
+    """``base.name`` or ``base->name``."""
+
+    __slots__ = ("base", "name", "is_arrow")
+
+    def __init__(self, base: Expr, name: str, is_arrow: bool, location=None):
+        super().__init__(location)
+        self.base = base
+        self.name = name
+        self.is_arrow = is_arrow
+
+
+class Cast(Expr):
+    __slots__ = ("target_type", "operand")
+
+    def __init__(self, target_type: CType, operand: Expr, location=None):
+        super().__init__(location)
+        self.target_type = target_type
+        self.operand = operand
+
+
+class SizeofType(Expr):
+    __slots__ = ("queried_type",)
+
+    def __init__(self, queried_type: CType, location=None):
+        super().__init__(location)
+        self.queried_type = queried_type
+
+
+class SizeofExpr(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr, location=None):
+        super().__init__(location)
+        self.operand = operand
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+@dataclass
+class VarDecl:
+    """A single declared variable within a declaration statement."""
+
+    name: str
+    ctype: CType
+    init: Expr | None = None
+    location: SourceLocation = field(default_factory=SourceLocation)
+    #: Resolved symbol, filled in by the semantic analyzer.
+    symbol: object = None
+
+
+class DeclStmt(Stmt):
+    __slots__ = ("decls",)
+
+    def __init__(self, decls: list[VarDecl], location=None):
+        super().__init__(location)
+        self.decls = decls
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr, location=None):
+        super().__init__(location)
+        self.expr = expr
+
+
+class EmptyStmt(Stmt):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: list[Stmt], location=None):
+        super().__init__(location)
+        self.stmts = stmts
+
+
+class If(Stmt):
+    __slots__ = ("cond", "then_stmt", "else_stmt")
+
+    def __init__(self, cond: Expr, then_stmt: Stmt, else_stmt: Stmt | None, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.then_stmt = then_stmt
+        self.else_stmt = else_stmt
+
+
+class Loop(Stmt):
+    """Common base of the three loop statements.
+
+    ``begin_id`` / ``body_begin_id`` / ``body_end_id`` hold the checkpoint
+    ids assigned by :mod:`repro.instrument.checkpoints`; they stay ``None``
+    in un-instrumented programs.
+    """
+
+    __slots__ = ("body", "begin_id", "body_begin_id", "body_end_id")
+
+    kind: str = "loop"
+
+    def __init__(self, body: Stmt, location=None):
+        super().__init__(location)
+        self.body = body
+        self.begin_id: int | None = None
+        self.body_begin_id: int | None = None
+        self.body_end_id: int | None = None
+
+    @property
+    def is_instrumented(self) -> bool:
+        return self.begin_id is not None
+
+
+class For(Loop):
+    __slots__ = ("init", "cond", "step")
+
+    kind = "for"
+
+    def __init__(self, init: Stmt | None, cond: Expr | None, step: Expr | None,
+                 body: Stmt, location=None):
+        super().__init__(body, location)
+        self.init = init
+        self.cond = cond
+        self.step = step
+
+
+class While(Loop):
+    __slots__ = ("cond",)
+
+    kind = "while"
+
+    def __init__(self, cond: Expr, body: Stmt, location=None):
+        super().__init__(body, location)
+        self.cond = cond
+
+
+class DoWhile(Loop):
+    __slots__ = ("cond",)
+
+    kind = "do"
+
+    def __init__(self, body: Stmt, cond: Expr, location=None):
+        super().__init__(body, location)
+        self.cond = cond
+
+
+class Return(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr | None, location=None):
+        super().__init__(location)
+        self.expr = expr
+
+
+class Break(Stmt):
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+    location: SourceLocation = field(default_factory=SourceLocation)
+    symbol: object = None
+
+
+class FunctionDef(Node):
+    __slots__ = ("name", "return_type", "params", "body")
+
+    def __init__(self, name: str, return_type: CType, params: list[Param],
+                 body: Block, location=None):
+        super().__init__(location)
+        self.name = name
+        self.return_type = return_type
+        self.params = params
+        self.body = body
+
+
+class StructDef(Node):
+    __slots__ = ("struct_type",)
+
+    def __init__(self, struct_type, location=None):
+        super().__init__(location)
+        self.struct_type = struct_type
+
+
+class Program(Node):
+    """A parsed translation unit."""
+
+    __slots__ = ("struct_defs", "globals", "functions", "source")
+
+    def __init__(self, struct_defs: list[StructDef], globals_: list[DeclStmt],
+                 functions: list[FunctionDef], source: str = ""):
+        super().__init__()
+        self.struct_defs = struct_defs
+        self.globals = globals_
+        self.functions = functions
+        #: Original source text (used for line counting in Table I).
+        self.source = source
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def has_function(self, name: str) -> bool:
+        return any(fn.name == name for fn in self.functions)
+
+
+def walk(node) -> list:
+    """Yield ``node`` and all AST descendants in pre-order.
+
+    Accepts any Node, VarDecl or Param; returns a list so callers can
+    filter with comprehensions without generator bookkeeping.
+    """
+    out = []
+    _walk_into(node, out)
+    return out
+
+
+def _walk_into(node, out: list) -> None:
+    if node is None:
+        return
+    out.append(node)
+    for child in children(node):
+        _walk_into(child, out)
+
+
+def children(node) -> list:
+    """Direct AST children of ``node``, in source order."""
+    if isinstance(node, Program):
+        return [*node.struct_defs, *node.globals, *node.functions]
+    if isinstance(node, FunctionDef):
+        return [*node.params, node.body]
+    if isinstance(node, DeclStmt):
+        return list(node.decls)
+    if isinstance(node, VarDecl):
+        return [node.init] if node.init is not None else []
+    if isinstance(node, ExprStmt):
+        return [node.expr]
+    if isinstance(node, Block):
+        return list(node.stmts)
+    if isinstance(node, If):
+        out = [node.cond, node.then_stmt]
+        if node.else_stmt is not None:
+            out.append(node.else_stmt)
+        return out
+    if isinstance(node, For):
+        return [n for n in (node.init, node.cond, node.step, node.body) if n is not None]
+    if isinstance(node, While):
+        return [node.cond, node.body]
+    if isinstance(node, DoWhile):
+        return [node.body, node.cond]
+    if isinstance(node, Return):
+        return [node.expr] if node.expr is not None else []
+    if isinstance(node, Unary):
+        return [node.operand]
+    if isinstance(node, IncDec):
+        return [node.operand]
+    if isinstance(node, Binary):
+        return [node.left, node.right]
+    if isinstance(node, Assign):
+        return [node.target, node.value]
+    if isinstance(node, Ternary):
+        return [node.cond, node.then_expr, node.else_expr]
+    if isinstance(node, Call):
+        return list(node.args)
+    if isinstance(node, Index):
+        return [node.base, node.index]
+    if isinstance(node, Member):
+        return [node.base]
+    if isinstance(node, Cast):
+        return [node.operand]
+    if isinstance(node, SizeofExpr):
+        return [node.operand]
+    return []

@@ -1,0 +1,244 @@
+"""Hand-written lexer for the MiniC language.
+
+The lexer supports the C syntax subset used by the FORAY-GEN workloads:
+decimal/hex/octal integer literals (with ``u``/``l`` suffixes), floating
+literals, character and string literals with the common escapes, ``//`` and
+``/* */`` comments, and the full C operator set listed in
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+class Lexer:
+    """Converts MiniC source text into a list of tokens."""
+
+    def __init__(self, source: str, filename: str = "<minic>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input; the result always ends with an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._source):
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._pos >= len(self._source):
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            elif ch == "#":
+                # Preprocessor-style lines (e.g. #define used as doc) are
+                # skipped wholesale; MiniC has no preprocessor.
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        loc = self._location()
+        if self._pos >= len(self._source):
+            return Token(TokenKind.EOF, "", loc)
+
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident_or_keyword(loc)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(loc)
+        if ch == "'":
+            return self._lex_char(loc)
+        if ch == '"':
+            return self._lex_string(loc)
+
+        for text, kind in MULTI_CHAR_OPERATORS:
+            if self._source.startswith(text, self._pos):
+                self._advance(len(text))
+                return Token(kind, text, loc)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(SINGLE_CHAR_OPERATORS[ch], ch, loc)
+
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+    def _lex_ident_or_keyword(self, loc: SourceLocation) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        value = text if kind is TokenKind.IDENT else None
+        return Token(kind, text, loc, value)
+
+    def _lex_number(self, loc: SourceLocation) -> Token:
+        start = self._pos
+        is_float = False
+
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not self._is_hex_digit(self._peek()):
+                raise LexError("invalid hex literal", loc)
+            while self._is_hex_digit(self._peek()):
+                self._advance()
+            text = self._source[start : self._pos]
+            value = int(text, 16)
+            self._skip_int_suffix()
+            return Token(TokenKind.INT_LIT, text, loc, value)
+
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+
+        text = self._source[start : self._pos]
+        if is_float:
+            if self._peek() in ("f", "F"):
+                self._advance()
+            return Token(TokenKind.FLOAT_LIT, text, loc, float(text))
+
+        # Octal literals (leading zero) are accepted for C compatibility.
+        value = int(text, 8) if len(text) > 1 and text[0] == "0" else int(text)
+        self._skip_int_suffix()
+        return Token(TokenKind.INT_LIT, text, loc, value)
+
+    def _skip_int_suffix(self) -> None:
+        while self._peek() in ("u", "U", "l", "L"):
+            self._advance()
+
+    @staticmethod
+    def _is_hex_digit(ch: str) -> bool:
+        return bool(ch) and ch in "0123456789abcdefABCDEF"
+
+    def _read_escape(self, loc: SourceLocation) -> str:
+        self._advance()  # consume backslash
+        esc = self._peek()
+        if esc == "x":
+            self._advance()
+            digits = ""
+            while self._is_hex_digit(self._peek()):
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                raise LexError("invalid \\x escape", loc)
+            return chr(int(digits, 16))
+        if esc in _ESCAPES:
+            self._advance()
+            return _ESCAPES[esc]
+        raise LexError(f"unknown escape sequence \\{esc}", loc)
+
+    def _lex_char(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            ch = self._read_escape(loc)
+        else:
+            ch = self._peek()
+            if not ch or ch == "'":
+                raise LexError("empty character literal", loc)
+            self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token(TokenKind.CHAR_LIT, f"'{ch}'", loc, ord(ch))
+
+    def _lex_string(self, loc: SourceLocation) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError("unterminated string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._read_escape(loc))
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        return Token(TokenKind.STRING_LIT, f'"{text}"', loc, text)
+
+
+def tokenize(source: str, filename: str = "<minic>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,284 @@
+"""Pretty-printer: AST back to compilable MiniC source.
+
+For instrumented programs (loops carrying checkpoint ids), the printer
+emits paper-style ``CHECKPOINT(n);`` markers around each loop, reproducing
+the annotated-source view of the paper's Figure 4(b).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.ctypes_ import ArrayType, CType, PointerType
+
+_INDENT = "    "
+
+# Operator precedence used to decide where parentheses are needed.
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+_POSTFIX_PRECEDENCE = 12
+_ASSIGN_PRECEDENCE = 0
+
+
+def type_prefix_suffix(ctype: CType) -> tuple[str, str]:
+    """Split a type into declaration prefix and suffix around the name,
+    e.g. ``int *a[10]`` → prefix ``int *``, suffix ``[10]``."""
+    suffix = ""
+    while isinstance(ctype, ArrayType):
+        suffix += f"[{ctype.length}]"
+        ctype = ctype.element
+    prefix = str(ctype)
+    if isinstance(ctype, PointerType):
+        # str(PointerType) already ends with '*'.
+        return prefix, suffix
+    return prefix + " ", suffix
+
+
+def format_declaration(ctype: CType, name: str) -> str:
+    prefix, suffix = type_prefix_suffix(ctype)
+    if not prefix.endswith((" ", "*")):
+        prefix += " "
+    return f"{prefix}{name}{suffix}"
+
+
+class Printer:
+    def __init__(self, show_checkpoints: bool = True):
+        self._show_checkpoints = show_checkpoints
+        self._lines: list[str] = []
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+
+    def print_program(self, program: ast.Program) -> str:
+        self._lines = []
+        for struct_def in program.struct_defs:
+            self._emit_struct(struct_def)
+            self._lines.append("")
+        for decl_stmt in program.globals:
+            for decl in decl_stmt.decls:
+                self._line(self._format_one_decl(decl) + ";")
+        if program.globals:
+            self._lines.append("")
+        for index, fn in enumerate(program.functions):
+            if index:
+                self._lines.append("")
+            self._emit_function(fn)
+        return "\n".join(self._lines) + "\n"
+
+    # -- internals ------------------------------------------------------
+
+    def _line(self, text: str) -> None:
+        self._lines.append(_INDENT * self._depth + text if text else "")
+
+    def _emit_struct(self, struct_def: ast.StructDef) -> None:
+        st = struct_def.struct_type
+        self._line(f"struct {st.tag} {{")
+        self._depth += 1
+        for member in st.members:
+            self._line(format_declaration(member.ctype, member.name) + ";")
+        self._depth -= 1
+        self._line("};")
+
+    def _emit_function(self, fn: ast.FunctionDef) -> None:
+        params = ", ".join(
+            format_declaration(p.ctype, p.name) for p in fn.params
+        ) or "void"
+        prefix, suffix = type_prefix_suffix(fn.return_type)
+        assert not suffix, "function returning array is not valid C"
+        if not prefix.endswith((" ", "*")):
+            prefix += " "
+        self._line(f"{prefix}{fn.name}({params}) {{")
+        self._depth += 1
+        for stmt in fn.body.stmts:
+            self._emit_stmt(stmt)
+        self._depth -= 1
+        self._line("}")
+
+    def _format_one_decl(self, decl: ast.VarDecl) -> str:
+        text = format_declaration(decl.ctype, decl.name)
+        if decl.init is not None:
+            text += f" = {self._expr(decl.init)}"
+        return text
+
+    def _format_decl_stmt(self, stmt: ast.DeclStmt) -> str:
+        """Single-line rendering, used for for-loop initializers."""
+        decls = stmt.decls
+        if len(decls) > 1 and all(d.ctype == decls[0].ctype for d in decls):
+            prefix, suffix = type_prefix_suffix(decls[0].ctype)
+            if not suffix:
+                parts = []
+                for decl in decls:
+                    part = decl.name
+                    if decl.init is not None:
+                        part += f" = {self._expr(decl.init)}"
+                    parts.append(part)
+                if not prefix.endswith((" ", "*")):
+                    prefix += " "
+                return prefix + ", ".join(parts) + ";"
+        return "; ".join(self._format_one_decl(decl) for decl in decls) + ";"
+
+    def _emit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            # Block-level declarations print one per line so a parse/print
+            # round trip is a fixed point.
+            for decl in stmt.decls:
+                self._line(self._format_one_decl(decl) + ";")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._line(self._expr(stmt.expr) + ";")
+        elif isinstance(stmt, ast.EmptyStmt):
+            self._line(";")
+        elif isinstance(stmt, ast.Block):
+            self._line("{")
+            self._depth += 1
+            for inner in stmt.stmts:
+                self._emit_stmt(inner)
+            self._depth -= 1
+            self._line("}")
+        elif isinstance(stmt, ast.If):
+            self._line(f"if ({self._expr(stmt.cond)})")
+            self._emit_substmt(stmt.then_stmt)
+            if stmt.else_stmt is not None:
+                self._line("else")
+                self._emit_substmt(stmt.else_stmt)
+        elif isinstance(stmt, ast.For):
+            self._emit_loop_header_checkpoint(stmt)
+            init = ""
+            if isinstance(stmt.init, ast.DeclStmt):
+                init = self._format_decl_stmt(stmt.init)[:-1]
+            elif isinstance(stmt.init, ast.ExprStmt):
+                init = self._expr(stmt.init.expr)
+            cond = self._expr(stmt.cond) if stmt.cond is not None else ""
+            step = self._expr(stmt.step) if stmt.step is not None else ""
+            self._line(f"for ({init}; {cond}; {step})")
+            self._emit_loop_body(stmt)
+        elif isinstance(stmt, ast.While):
+            self._emit_loop_header_checkpoint(stmt)
+            self._line(f"while ({self._expr(stmt.cond)})")
+            self._emit_loop_body(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._emit_loop_header_checkpoint(stmt)
+            self._line("do")
+            self._emit_loop_body(stmt)
+            self._line(f"while ({self._expr(stmt.cond)});")
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is None:
+                self._line("return;")
+            else:
+                self._line(f"return {self._expr(stmt.expr)};")
+        elif isinstance(stmt, ast.Break):
+            self._line("break;")
+        elif isinstance(stmt, ast.Continue):
+            self._line("continue;")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot print {type(stmt).__name__}")
+
+    def _emit_substmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._emit_stmt(stmt)
+        else:
+            self._depth += 1
+            self._emit_stmt(stmt)
+            self._depth -= 1
+
+    def _emit_loop_header_checkpoint(self, loop: ast.Loop) -> None:
+        if self._show_checkpoints and loop.is_instrumented:
+            self._line(f"CHECKPOINT({loop.begin_id});  /* loop-begin */")
+
+    def _emit_loop_body(self, loop: ast.Loop) -> None:
+        if not (self._show_checkpoints and loop.is_instrumented):
+            self._emit_substmt(loop.body)
+            return
+        self._line("{")
+        self._depth += 1
+        self._line(f"CHECKPOINT({loop.body_begin_id});  /* body-begin */")
+        if isinstance(loop.body, ast.Block):
+            for inner in loop.body.stmts:
+                self._emit_stmt(inner)
+        else:
+            self._emit_stmt(loop.body)
+        self._line(f"CHECKPOINT({loop.body_end_id});  /* body-end */")
+        self._depth -= 1
+        self._line("}")
+
+    # -- expressions ------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, parent_prec: int = -1) -> str:
+        text, prec = self._expr_prec(expr)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, expr: ast.Expr) -> tuple[str, int]:
+        if isinstance(expr, ast.IntLiteral):
+            return str(expr.value), _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.FloatLiteral):
+            return repr(expr.value), _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.StringLiteral):
+            escaped = (
+                expr.value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\0", "\\0")
+            )
+            return f'"{escaped}"', _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Identifier):
+            return expr.name, _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Unary):
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            if operand and operand[0] == expr.op and expr.op in "-+&":
+                # Avoid "--x" / "++x" / "&&x" token merging.
+                operand = f"({operand})"
+            return f"{expr.op}{operand}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.IncDec):
+            if expr.is_postfix:
+                operand = self._expr(expr.operand, _POSTFIX_PRECEDENCE)
+                return f"{operand}{expr.op}", _POSTFIX_PRECEDENCE
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            return f"{expr.op}{operand}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.Binary):
+            prec = _PRECEDENCE[expr.op]
+            left = self._expr(expr.left, prec)
+            right = self._expr(expr.right, prec + 1)
+            return f"{left} {expr.op} {right}", prec
+        if isinstance(expr, ast.Assign):
+            target = self._expr(expr.target, _UNARY_PRECEDENCE)
+            value = self._expr(expr.value, _ASSIGN_PRECEDENCE)
+            return f"{target} {expr.op}= {value}", _ASSIGN_PRECEDENCE
+        if isinstance(expr, ast.Ternary):
+            cond = self._expr(expr.cond, 1)
+            then_expr = self._expr(expr.then_expr, _ASSIGN_PRECEDENCE)
+            else_expr = self._expr(expr.else_expr, _ASSIGN_PRECEDENCE)
+            return f"{cond} ? {then_expr} : {else_expr}", _ASSIGN_PRECEDENCE
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self._expr(arg, _ASSIGN_PRECEDENCE) for arg in expr.args)
+            if expr.name == "__init_list__":
+                return f"{{{args}}}", _POSTFIX_PRECEDENCE
+            return f"{expr.name}({args})", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Index):
+            base = self._expr(expr.base, _POSTFIX_PRECEDENCE)
+            return f"{base}[{self._expr(expr.index)}]", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Member):
+            base = self._expr(expr.base, _POSTFIX_PRECEDENCE)
+            sep = "->" if expr.is_arrow else "."
+            return f"{base}{sep}{expr.name}", _POSTFIX_PRECEDENCE
+        if isinstance(expr, ast.Cast):
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            return f"({expr.target_type}){operand}", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.SizeofType):
+            return f"sizeof({expr.queried_type})", _UNARY_PRECEDENCE
+        if isinstance(expr, ast.SizeofExpr):
+            operand = self._expr(expr.operand, _UNARY_PRECEDENCE)
+            return f"sizeof {operand}", _UNARY_PRECEDENCE
+        raise TypeError(f"cannot print {type(expr).__name__}")  # pragma: no cover
+
+
+def to_source(program: ast.Program, show_checkpoints: bool = True) -> str:
+    """Render a program (optionally with checkpoint markers) as C source."""
+    return Printer(show_checkpoints).print_program(program)

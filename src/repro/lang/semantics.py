@@ -1,0 +1,430 @@
+"""Semantic analysis for MiniC.
+
+Responsibilities:
+
+* build symbol tables and resolve every :class:`Identifier` to a
+  :class:`Symbol`;
+* annotate every expression with its :class:`~repro.lang.ctypes_.CType`;
+* decide which variables live in simulated memory: arrays, structs and
+  globals always do; scalar locals/params are *register-promoted* unless
+  their address is taken (``&x``) — this matches the paper's traces, where
+  plain loop variables generate no memory accesses;
+* assign a unique pre-order ``node_id`` to every AST node (the simulator
+  derives synthetic instruction pcs for memory-access sites from these);
+* validate ``break``/``continue`` placement and call arity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+from repro.lang.ctypes_ import (
+    CHAR,
+    CType,
+    DOUBLE,
+    INT,
+    PointerType,
+    decay,
+    integer_promote,
+    usual_arithmetic_conversion,
+)
+from repro.lang.errors import SemanticError
+from repro.lang.stdlib import BUILTIN_SIGNATURES
+
+_symbol_ids = itertools.count()
+
+
+@dataclass
+class Symbol:
+    """A declared variable (global, local or parameter)."""
+
+    name: str
+    ctype: CType
+    storage: str  # "global" | "local" | "param"
+    uid: int = field(default_factory=lambda: next(_symbol_ids))
+    #: True when the variable must live in simulated memory (arrays,
+    #: structs, globals, address-taken scalars). Register-promoted scalars
+    #: have this False and never produce trace records.
+    in_memory: bool = False
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol, location) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(f"redefinition of {symbol.name!r}", location)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Single-pass analyzer; call :meth:`analyze` on a parsed program."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals_scope = _Scope()
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self._current_function: ast.FunctionDef | None = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> ast.Program:
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise SemanticError(f"redefinition of function {fn.name!r}", fn.location)
+            if fn.name in BUILTIN_SIGNATURES:
+                raise SemanticError(
+                    f"function {fn.name!r} shadows a library builtin", fn.location
+                )
+            self.functions[fn.name] = fn
+
+        for decl_stmt in self.program.globals:
+            for decl in decl_stmt.decls:
+                self._define_global(decl)
+
+        for fn in self.program.functions:
+            self._analyze_function(fn)
+
+        self._assign_node_ids()
+        return self.program
+
+    def _assign_node_ids(self) -> None:
+        for node_id, node in enumerate(ast.walk(self.program)):
+            if isinstance(node, ast.Node):
+                node.node_id = node_id
+
+    # -- declarations ---------------------------------------------------
+
+    def _define_global(self, decl: ast.VarDecl) -> None:
+        if decl.ctype.is_void:
+            raise SemanticError(f"variable {decl.name!r} declared void", decl.location)
+        symbol = Symbol(decl.name, decl.ctype, "global", in_memory=True)
+        self.globals_scope.define(symbol, decl.location)
+        decl.symbol = symbol
+        if decl.init is not None:
+            self._analyze_initializer(decl.init, decl.ctype, self.globals_scope)
+
+    def _analyze_function(self, fn: ast.FunctionDef) -> None:
+        self._current_function = fn
+        scope = _Scope(self.globals_scope)
+        for param in fn.params:
+            symbol = Symbol(param.name, param.ctype, "param",
+                            in_memory=not param.ctype.is_scalar)
+            scope.define(symbol, param.location)
+            param.symbol = symbol
+        self._analyze_block(fn.body, scope)
+        self._current_function = None
+
+    # -- statements -------------------------------------------------------
+
+    def _analyze_block(self, block: ast.Block, parent_scope: _Scope) -> None:
+        scope = _Scope(parent_scope)
+        for stmt in block.stmts:
+            self._analyze_stmt(stmt, scope)
+
+    def _analyze_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._define_local(decl, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._analyze_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self._analyze_block(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._analyze_expr(stmt.cond, scope)
+            self._analyze_stmt(stmt.then_stmt, scope)
+            if stmt.else_stmt is not None:
+                self._analyze_stmt(stmt.else_stmt, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._analyze_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._analyze_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._analyze_expr(stmt.step, inner)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.While):
+            self._analyze_expr(stmt.cond, scope)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+            self._analyze_expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.Return):
+            if stmt.expr is not None:
+                self._analyze_expr(stmt.expr, scope)
+                if self._current_function and self._current_function.return_type.is_void:
+                    raise SemanticError("void function returns a value", stmt.location)
+            elif self._current_function and not self._current_function.return_type.is_void:
+                raise SemanticError("non-void function returns no value", stmt.location)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{word} outside of a loop", stmt.location)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unknown statement {type(stmt).__name__}", stmt.location)
+
+    def _define_local(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        if decl.ctype.is_void:
+            raise SemanticError(f"variable {decl.name!r} declared void", decl.location)
+        in_memory = not decl.ctype.is_scalar
+        symbol = Symbol(decl.name, decl.ctype, "local", in_memory=in_memory)
+        scope.define(symbol, decl.location)
+        decl.symbol = symbol
+        if decl.init is not None:
+            self._analyze_initializer(decl.init, decl.ctype, scope)
+
+    def _analyze_initializer(self, init: ast.Expr, target: CType, scope: _Scope) -> None:
+        if isinstance(init, ast.Call) and init.name == "__init_list__":
+            if not (target.is_array or target.is_struct):
+                raise SemanticError("brace initializer on a scalar", init.location)
+            init.ctype = target
+            init.is_builtin = True  # prevents callee resolution
+            if target.is_array:
+                element = target.element  # type: ignore[attr-defined]
+                for item in init.args:
+                    self._analyze_initializer(item, element, scope)
+            else:
+                members = target.members  # type: ignore[attr-defined]
+                if len(init.args) > len(members):
+                    raise SemanticError("too many struct initializers", init.location)
+                for item, member in zip(init.args, members):
+                    self._analyze_initializer(item, member.ctype, scope)
+            return
+        if isinstance(init, ast.StringLiteral) and target.is_array:
+            init.ctype = PointerType(CHAR)
+            return
+        self._analyze_expr(init, scope)
+
+    # -- expressions --------------------------------------------------------
+
+    def _analyze_expr(self, expr: ast.Expr, scope: _Scope) -> CType:
+        ctype = self._compute_type(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _compute_type(self, expr: ast.Expr, scope: _Scope) -> CType:
+        if isinstance(expr, ast.IntLiteral):
+            return INT
+        if isinstance(expr, ast.FloatLiteral):
+            return DOUBLE
+        if isinstance(expr, ast.StringLiteral):
+            return PointerType(CHAR)
+        if isinstance(expr, ast.Identifier):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"use of undeclared identifier {expr.name!r}",
+                                    expr.location)
+            expr.symbol = symbol
+            return symbol.ctype
+        if isinstance(expr, ast.Unary):
+            return self._type_unary(expr, scope)
+        if isinstance(expr, ast.IncDec):
+            operand = self._analyze_expr(expr.operand, scope)
+            self._require_lvalue(expr.operand)
+            if not decay(operand).is_scalar:
+                raise SemanticError("++/-- requires a scalar operand", expr.location)
+            return operand
+        if isinstance(expr, ast.Binary):
+            return self._type_binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            target = self._analyze_expr(expr.target, scope)
+            self._require_lvalue(expr.target)
+            self._analyze_expr(expr.value, scope)
+            if target.is_array:
+                raise SemanticError("cannot assign to an array", expr.location)
+            return target
+        if isinstance(expr, ast.Ternary):
+            self._analyze_expr(expr.cond, scope)
+            then_type = self._analyze_expr(expr.then_expr, scope)
+            else_type = self._analyze_expr(expr.else_expr, scope)
+            then_type = decay(then_type)
+            else_type = decay(else_type)
+            if then_type.is_pointer or else_type.is_pointer:
+                return then_type if then_type.is_pointer else else_type
+            if then_type.is_void:
+                return then_type
+            return usual_arithmetic_conversion(then_type, else_type)
+        if isinstance(expr, ast.Call):
+            return self._type_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            base = decay(self._analyze_expr(expr.base, scope))
+            self._analyze_expr(expr.index, scope)
+            if not base.is_pointer:
+                raise SemanticError("subscripted value is not an array or pointer",
+                                    expr.location)
+            return base.pointee  # type: ignore[attr-defined]
+        if isinstance(expr, ast.Member):
+            base = self._analyze_expr(expr.base, scope)
+            if expr.is_arrow:
+                base = decay(base)
+                if not base.is_pointer or not base.pointee.is_struct:  # type: ignore[attr-defined]
+                    raise SemanticError("-> applied to a non-struct-pointer", expr.location)
+                struct = base.pointee  # type: ignore[attr-defined]
+            else:
+                if not base.is_struct:
+                    raise SemanticError(". applied to a non-struct", expr.location)
+                struct = base
+            return struct.member(expr.name).ctype
+        if isinstance(expr, ast.Cast):
+            self._analyze_expr(expr.operand, scope)
+            return expr.target_type
+        if isinstance(expr, ast.SizeofType):
+            return INT
+        if isinstance(expr, ast.SizeofExpr):
+            self._analyze_expr(expr.operand, scope)
+            return INT
+        raise SemanticError(f"unknown expression {type(expr).__name__}",  # pragma: no cover
+                            expr.location)
+
+    def _type_unary(self, expr: ast.Unary, scope: _Scope) -> CType:
+        operand = self._analyze_expr(expr.operand, scope)
+        op = expr.op
+        if op == "*":
+            decayed = decay(operand)
+            if not decayed.is_pointer:
+                raise SemanticError("dereference of a non-pointer", expr.location)
+            pointee = decayed.pointee  # type: ignore[attr-defined]
+            if pointee.is_void:
+                raise SemanticError("dereference of void*", expr.location)
+            return pointee
+        if op == "&":
+            self._require_lvalue(expr.operand)
+            self._mark_address_taken(expr.operand)
+            return PointerType(operand)
+        if op in ("-", "+"):
+            if not decay(operand).is_scalar or decay(operand).is_pointer:
+                raise SemanticError(f"unary {op} on a non-arithmetic type", expr.location)
+            return integer_promote(operand) if operand.is_integer else operand
+        if op == "!":
+            return INT
+        if op == "~":
+            if not operand.is_integer:
+                raise SemanticError("~ requires an integer operand", expr.location)
+            return integer_promote(operand)
+        raise SemanticError(f"unknown unary operator {op!r}", expr.location)  # pragma: no cover
+
+    def _type_binary(self, expr: ast.Binary, scope: _Scope) -> CType:
+        left = decay(self._analyze_expr(expr.left, scope))
+        right = decay(self._analyze_expr(expr.right, scope))
+        op = expr.op
+        if op in ("&&", "||", "==", "!=", "<", ">", "<=", ">="):
+            return INT
+        if op == "+":
+            if left.is_pointer and right.is_integer:
+                return left
+            if right.is_pointer and left.is_integer:
+                return right
+            if left.is_pointer or right.is_pointer:
+                raise SemanticError("invalid pointer addition", expr.location)
+            return usual_arithmetic_conversion(left, right)
+        if op == "-":
+            if left.is_pointer and right.is_pointer:
+                return INT  # ptrdiff
+            if left.is_pointer and right.is_integer:
+                return left
+            if right.is_pointer:
+                raise SemanticError("cannot subtract a pointer from an integer",
+                                    expr.location)
+            return usual_arithmetic_conversion(left, right)
+        if op in ("*", "/"):
+            if left.is_pointer or right.is_pointer:
+                raise SemanticError(f"invalid operands to {op}", expr.location)
+            return usual_arithmetic_conversion(left, right)
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not (left.is_integer and right.is_integer):
+                raise SemanticError(f"{op} requires integer operands", expr.location)
+            if op in ("<<", ">>"):
+                return integer_promote(left)
+            return usual_arithmetic_conversion(left, right)
+        raise SemanticError(f"unknown binary operator {op!r}", expr.location)  # pragma: no cover
+
+    def _type_call(self, expr: ast.Call, scope: _Scope) -> CType:
+        for arg in expr.args:
+            self._analyze_expr(arg, scope)
+        fn = self.functions.get(expr.name)
+        if fn is not None:
+            if len(expr.args) != len(fn.params):
+                raise SemanticError(
+                    f"call to {expr.name!r} with {len(expr.args)} arguments; "
+                    f"expected {len(fn.params)}",
+                    expr.location,
+                )
+            return fn.return_type
+        sig = BUILTIN_SIGNATURES.get(expr.name)
+        if sig is not None:
+            expr.is_builtin = True
+            if len(expr.args) < sig.min_args or (
+                not sig.varargs and len(expr.args) > sig.min_args
+            ):
+                raise SemanticError(
+                    f"call to builtin {expr.name!r} with {len(expr.args)} arguments; "
+                    f"expected {sig.min_args}{'+' if sig.varargs else ''}",
+                    expr.location,
+                )
+            return sig.return_type
+        raise SemanticError(f"call to undefined function {expr.name!r}", expr.location)
+
+    # -- lvalues -----------------------------------------------------------
+
+    def _require_lvalue(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.Identifier, ast.Index, ast.Member)):
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return
+        raise SemanticError("expression is not an lvalue", expr.location)
+
+    def _mark_address_taken(self, expr: ast.Expr) -> None:
+        """Force the root variable of an address-of expression into memory."""
+        node = expr
+        while True:
+            if isinstance(node, ast.Identifier):
+                if node.symbol is not None:
+                    node.symbol.in_memory = True
+                return
+            if isinstance(node, ast.Index):
+                node = node.base
+            elif isinstance(node, ast.Member) and not node.is_arrow:
+                node = node.base
+            else:
+                # &*p, &p->f: the storage pointed to is already in memory.
+                return
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Run semantic analysis in place and return the same program."""
+    return SemanticAnalyzer(program).analyze()
+
+
+def parse_and_analyze(source: str, filename: str = "<minic>") -> ast.Program:
+    """Parse plus analyze in one call (the usual entry point)."""
+    from repro.lang.parser import parse
+
+    return analyze(parse(source, filename))

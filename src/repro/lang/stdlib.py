@@ -1,0 +1,71 @@
+"""Signatures of the MiniC builtin library ("system library" in the paper).
+
+The semantic analyzer uses this table to type-check calls to undeclared
+functions; :mod:`repro.sim.builtins` provides the implementations. Table III
+of the paper classifies memory references made *inside* these routines as
+"system call" references — our simulator tags them with pcs in a dedicated
+library range (see :mod:`repro.sim.trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ctypes_ import CHAR, CType, DOUBLE, INT, PointerType, VOID
+
+_CHAR_PTR = PointerType(CHAR)
+_VOID_PTR = PointerType(VOID)
+
+
+@dataclass(frozen=True)
+class BuiltinSignature:
+    name: str
+    return_type: CType
+    #: Minimum number of arguments; varargs builtins accept more.
+    min_args: int
+    varargs: bool = False
+    #: Whether the builtin touches simulated memory (generating library
+    #: trace records).
+    touches_memory: bool = False
+
+
+BUILTIN_SIGNATURES: dict[str, BuiltinSignature] = {
+    sig.name: sig
+    for sig in [
+        BuiltinSignature("printf", INT, 1, varargs=True, touches_memory=True),
+        BuiltinSignature("putchar", INT, 1),
+        BuiltinSignature("puts", INT, 1, touches_memory=True),
+        BuiltinSignature("malloc", _VOID_PTR, 1),
+        BuiltinSignature("calloc", _VOID_PTR, 2, touches_memory=True),
+        BuiltinSignature("free", VOID, 1),
+        BuiltinSignature("memcpy", _VOID_PTR, 3, touches_memory=True),
+        BuiltinSignature("memset", _VOID_PTR, 3, touches_memory=True),
+        BuiltinSignature("memmove", _VOID_PTR, 3, touches_memory=True),
+        BuiltinSignature("strlen", INT, 1, touches_memory=True),
+        BuiltinSignature("strcpy", _CHAR_PTR, 2, touches_memory=True),
+        BuiltinSignature("strcmp", INT, 2, touches_memory=True),
+        BuiltinSignature("abs", INT, 1),
+        BuiltinSignature("labs", INT, 1),
+        BuiltinSignature("rand", INT, 0),
+        BuiltinSignature("srand", VOID, 1),
+        BuiltinSignature("exit", VOID, 1),
+        # File-input stand-in: fills a buffer with n deterministic 32-bit
+        # samples through library stores (the paper's benchmarks stage
+        # their inputs through C library reads the same way).
+        BuiltinSignature("read_samples", INT, 2, touches_memory=True),
+        BuiltinSignature("sqrt", DOUBLE, 1),
+        BuiltinSignature("fabs", DOUBLE, 1),
+        BuiltinSignature("sin", DOUBLE, 1),
+        BuiltinSignature("cos", DOUBLE, 1),
+        BuiltinSignature("tan", DOUBLE, 1),
+        BuiltinSignature("atan", DOUBLE, 1),
+        BuiltinSignature("atan2", DOUBLE, 2),
+        BuiltinSignature("exp", DOUBLE, 1),
+        BuiltinSignature("log", DOUBLE, 1),
+        BuiltinSignature("log10", DOUBLE, 1),
+        BuiltinSignature("pow", DOUBLE, 2),
+        BuiltinSignature("floor", DOUBLE, 1),
+        BuiltinSignature("ceil", DOUBLE, 1),
+        BuiltinSignature("fmod", DOUBLE, 2),
+    ]
+}

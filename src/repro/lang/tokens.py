@@ -1,0 +1,188 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """All token categories produced by the lexer."""
+
+    # Literals and identifiers.
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    CHAR_LIT = "char_lit"
+    STRING_LIT = "string_lit"
+    IDENT = "ident"
+
+    # Keywords.
+    KW_INT = "int"
+    KW_CHAR = "char"
+    KW_SHORT = "short"
+    KW_LONG = "long"
+    KW_FLOAT = "float"
+    KW_DOUBLE = "double"
+    KW_VOID = "void"
+    KW_UNSIGNED = "unsigned"
+    KW_SIGNED = "signed"
+    KW_STRUCT = "struct"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_FOR = "for"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_SIZEOF = "sizeof"
+    KW_CONST = "const"
+    KW_STATIC = "static"
+
+    # Punctuation / operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    QUESTION = "?"
+    COLON = ":"
+    ARROW = "->"
+    DOT = "."
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND_AND = "&&"
+    OR_OR = "||"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    AMP_ASSIGN = "&="
+    PIPE_ASSIGN = "|="
+    CARET_ASSIGN = "^="
+    LSHIFT_ASSIGN = "<<="
+    RSHIFT_ASSIGN = ">>="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+
+    EOF = "eof"
+
+
+#: Mapping from keyword spelling to its token kind.
+KEYWORDS: dict[str, TokenKind] = {
+    "int": TokenKind.KW_INT,
+    "char": TokenKind.KW_CHAR,
+    "short": TokenKind.KW_SHORT,
+    "long": TokenKind.KW_LONG,
+    "float": TokenKind.KW_FLOAT,
+    "double": TokenKind.KW_DOUBLE,
+    "void": TokenKind.KW_VOID,
+    "unsigned": TokenKind.KW_UNSIGNED,
+    "signed": TokenKind.KW_SIGNED,
+    "struct": TokenKind.KW_STRUCT,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "sizeof": TokenKind.KW_SIZEOF,
+    "const": TokenKind.KW_CONST,
+    "static": TokenKind.KW_STATIC,
+}
+
+#: Multi-character operators, longest first so the lexer can use greedy match.
+MULTI_CHAR_OPERATORS: list[tuple[str, TokenKind]] = [
+    ("<<=", TokenKind.LSHIFT_ASSIGN),
+    (">>=", TokenKind.RSHIFT_ASSIGN),
+    ("->", TokenKind.ARROW),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("<<", TokenKind.LSHIFT),
+    (">>", TokenKind.RSHIFT),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AMP_ASSIGN),
+    ("|=", TokenKind.PIPE_ASSIGN),
+    ("^=", TokenKind.CARET_ASSIGN),
+]
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPERATORS: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "?": TokenKind.QUESTION,
+    ":": TokenKind.COLON,
+    ".": TokenKind.DOT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "~": TokenKind.TILDE,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "=": TokenKind.ASSIGN,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token.
+
+    ``value`` carries the decoded payload for literals: ``int`` for integer
+    and character literals, ``float`` for floating literals, ``str`` for
+    string literals and identifiers.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r} @ {self.location})"

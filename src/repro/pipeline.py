@@ -1,0 +1,144 @@
+"""Top-level FORAY-GEN pipeline — the public API most users want.
+
+* :func:`extract_foray_model` — Phase I on MiniC source (annotate, profile,
+  analyze, purge) returning the FORAY model.
+* :func:`run_workload` — Phase I plus the static baseline and all
+  table metrics for one workload.
+* :func:`run_suite` — the full mini-MiBench evaluation (Tables I–III).
+* :func:`full_flow` — Phases I+II: extract the model, then run the SPM
+  reuse analysis / buffer allocation and emit the transformed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.census import LoopCensus, loop_census
+from repro.analysis.coverage import (
+    ForayFormCoverage,
+    MemoryBehavior,
+    table2_coverage,
+    table3_behavior,
+)
+from repro.foray.emitter import emit_model
+from repro.foray.extractor import ForayExtractor
+from repro.foray.filters import FilterConfig
+from repro.foray.model import ForayModel
+from repro.sim.machine import CompiledProgram, RunResult, compile_program, run_compiled
+from repro.spm.allocator import Allocation
+from repro.spm.energy import EnergyModel
+from repro.spm.explore import best_allocation
+from repro.spm.transform import transform_model
+from repro.staticfar.detector import StaticAnalysisResult, detect
+
+
+@dataclass
+class ExtractionResult:
+    """Phase I output."""
+
+    model: ForayModel
+    compiled: CompiledProgram
+    run_result: RunResult
+    extractor: ForayExtractor
+
+    @property
+    def foray_source(self) -> str:
+        """The FORAY model rendered as C text (paper Figures 2/4d)."""
+        return emit_model(self.model)
+
+
+def extract_foray_model(
+    source: str,
+    filter_config: FilterConfig | None = None,
+    entry: str = "main",
+    max_steps: int = 200_000_000,
+) -> ExtractionResult:
+    """Run Phase I (FORAY-GEN) on MiniC source text.
+
+    The extractor is attached as a live trace sink (the paper's
+    constant-space online mode).
+    """
+    compiled = compile_program(source)
+    extractor = ForayExtractor(compiled.checkpoint_map, filter_config)
+    run_result = run_compiled(compiled, sinks=(extractor,), entry=entry,
+                              max_steps=max_steps)
+    return ExtractionResult(extractor.finish(), compiled, run_result, extractor)
+
+
+@dataclass
+class WorkloadReport:
+    """Phase I results plus all paper metrics for one workload."""
+
+    name: str
+    extraction: ExtractionResult
+    static_result: StaticAnalysisResult
+    census: LoopCensus
+    table2: ForayFormCoverage
+    table3: MemoryBehavior
+
+    @property
+    def model(self) -> ForayModel:
+        return self.extraction.model
+
+
+def run_workload(
+    name: str,
+    source: str,
+    filter_config: FilterConfig | None = None,
+    max_steps: int = 200_000_000,
+) -> WorkloadReport:
+    """Phase I + static baseline + Tables I/II/III metrics for one program."""
+    extraction = extract_foray_model(source, filter_config, max_steps=max_steps)
+    static_result = detect(extraction.compiled.program)
+    census = loop_census(name, source, extraction.extractor.executed_loops())
+    table2 = table2_coverage(name, extraction.model, static_result)
+    table3 = table3_behavior(name, extraction.model)
+    return WorkloadReport(name, extraction, static_result, census, table2, table3)
+
+
+def run_suite(
+    names: tuple[str, ...] | None = None,
+    filter_config: FilterConfig | None = None,
+) -> list[WorkloadReport]:
+    """Run the full mini-MiBench suite (the paper's six benchmarks)."""
+    from repro.workloads.registry import get_workload, workload_names
+
+    reports = []
+    for name in names or workload_names():
+        workload = get_workload(name)
+        reports.append(run_workload(workload.name, workload.source, filter_config))
+    return reports
+
+
+@dataclass
+class FullFlowResult:
+    """Phases I+II: model extraction plus SPM optimization."""
+
+    report: WorkloadReport
+    allocation: Allocation
+    transformed_source: str
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+
+    @property
+    def energy_saving_nj(self) -> float:
+        return self.allocation.total_benefit_nj
+
+
+def full_flow(
+    name: str,
+    source: str,
+    spm_bytes: int = 4096,
+    filter_config: FilterConfig | None = None,
+    energy_model: EnergyModel | None = None,
+) -> FullFlowResult:
+    """The complete design flow of the paper's Figure 3 (Phases I and II).
+
+    Phase III (back-annotating the transformed model into the legacy code)
+    is manual by design in the paper; the transformed model text returned
+    here is the input a designer would use for it.
+    """
+    energy_model = energy_model or EnergyModel()
+    report = run_workload(name, source, filter_config)
+    allocation = best_allocation(report.model, spm_bytes, energy_model)
+    transformed = transform_model(allocation)
+    return FullFlowResult(report, allocation, transformed, energy_model)

@@ -1,0 +1,43 @@
+"""Simulator substrate: memory model, trace format, builtins, interpreter.
+
+Replaces the paper's modified SimpleScalar functional simulator: it executes
+MiniC programs over a simulated 32-bit address space and streams the
+checkpoint/memory-access trace that FORAY-GEN consumes.
+"""
+
+from repro.sim.interpreter import ExecLimitExceeded, Interpreter
+from repro.sim.machine import (
+    CompiledProgram,
+    RunResult,
+    compile_program,
+    run_and_trace,
+    run_compiled,
+)
+from repro.sim.trace import (
+    Access,
+    Checkpoint,
+    CheckpointKind,
+    CheckpointMap,
+    TraceCollector,
+    TraceWriter,
+    format_trace,
+    parse_trace,
+)
+
+__all__ = [
+    "ExecLimitExceeded",
+    "Interpreter",
+    "CompiledProgram",
+    "RunResult",
+    "compile_program",
+    "run_and_trace",
+    "run_compiled",
+    "Access",
+    "Checkpoint",
+    "CheckpointKind",
+    "CheckpointMap",
+    "TraceCollector",
+    "TraceWriter",
+    "format_trace",
+    "parse_trace",
+]

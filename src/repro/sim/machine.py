@@ -1,0 +1,78 @@
+"""Compile-and-run harness tying the frontend, instrumentation and
+interpreter together.
+
+Typical use::
+
+    from repro.sim.machine import compile_program, run_compiled
+    from repro.sim.trace import TraceCollector
+
+    compiled = compile_program(source)
+    collector = TraceCollector()
+    result = run_compiled(compiled, sinks=(collector,))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.checkpoints import instrument
+from repro.lang import ast_nodes as ast
+from repro.lang.semantics import parse_and_analyze
+from repro.sim.interpreter import Interpreter, RunStats
+from repro.sim.trace import CheckpointMap, TraceCollector, TraceSink
+
+
+@dataclass
+class CompiledProgram:
+    """An analyzed (and optionally instrumented) program plus metadata."""
+
+    program: ast.Program
+    checkpoint_map: CheckpointMap
+    source: str
+
+    @property
+    def is_instrumented(self) -> bool:
+        return len(self.checkpoint_map) > 0
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one simulated run."""
+
+    exit_code: int
+    stdout: str
+    stats: RunStats
+    interpreter: Interpreter
+
+
+def compile_program(source: str, annotate: bool = True,
+                    filename: str = "<minic>") -> CompiledProgram:
+    """Parse, semantically analyze and (by default) instrument ``source``."""
+    program = parse_and_analyze(source, filename)
+    checkpoint_map = instrument(program) if annotate else CheckpointMap()
+    return CompiledProgram(program, checkpoint_map, source)
+
+
+def run_compiled(
+    compiled: CompiledProgram,
+    sinks: tuple[TraceSink, ...] = (),
+    entry: str = "main",
+    max_steps: int = 200_000_000,
+) -> RunResult:
+    """Execute a compiled program, streaming trace records to ``sinks``."""
+    interpreter = Interpreter(compiled.program, sinks=sinks, max_steps=max_steps)
+    exit_code = interpreter.run(entry)
+    return RunResult(exit_code, interpreter.stdout, interpreter.stats, interpreter)
+
+
+def run_and_trace(
+    source: str,
+    entry: str = "main",
+    max_steps: int = 200_000_000,
+) -> tuple[RunResult, TraceCollector, CompiledProgram]:
+    """Convenience: compile, run, and collect the full trace in memory."""
+    compiled = compile_program(source)
+    collector = TraceCollector()
+    result = run_compiled(compiled, sinks=(collector,), entry=entry,
+                          max_steps=max_steps)
+    return result, collector, compiled

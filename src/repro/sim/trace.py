@@ -1,0 +1,225 @@
+"""Trace records, sinks, and the paper-compatible text trace format.
+
+The simulator (our stand-in for the modified SimpleScalar of the paper)
+emits a stream of two record kinds:
+
+* :class:`Checkpoint` — execution of a checkpoint instruction inserted by
+  the annotator (paper Algorithm 1, step 1);
+* :class:`Access` — one memory access, carrying the synthetic instruction
+  pc and the accessed address.
+
+The text format matches the paper's Figure 4(c)::
+
+    Checkpoint: 12
+    Instr: 4002a0 addr: 7fff5934 wr
+
+Checkpoint *kinds* are not part of the text format (as in the paper); the
+reader restores them from the :class:`CheckpointMap` produced by the
+instrumentation pass.
+
+pcs are synthetic: user-code access sites get
+``USER_PC_BASE + 8*node_id (+4 for stores)``; accesses made inside library
+builtins get pcs at ``LIB_PC_BASE`` and above, which is how Table III's
+"system call" classification is reproduced.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol
+
+#: Base pc for user-code memory access sites.
+USER_PC_BASE = 0x400000
+#: Base pc for library-builtin memory access sites.
+LIB_PC_BASE = 0x500000
+
+
+def is_library_pc(pc: int) -> bool:
+    """True when ``pc`` belongs to the system library range."""
+    return pc >= LIB_PC_BASE
+
+
+def load_pc(node_id: int) -> int:
+    """Synthetic pc of the load issued by AST node ``node_id``."""
+    return USER_PC_BASE + 8 * node_id
+
+
+def store_pc(node_id: int) -> int:
+    """Synthetic pc of the store issued by AST node ``node_id``."""
+    return USER_PC_BASE + 8 * node_id + 4
+
+
+def node_id_of_pc(pc: int) -> int:
+    """Recover the AST node_id a user-code pc was derived from."""
+    if is_library_pc(pc) or pc < USER_PC_BASE:
+        raise ValueError(f"pc {pc:#x} is not a user-code pc")
+    return (pc - USER_PC_BASE) // 8
+
+
+def pc_is_store(pc: int) -> bool:
+    """True when a user-code pc denotes the store role of its site."""
+    return (pc - USER_PC_BASE) % 8 == 4
+
+
+class CheckpointKind(enum.Enum):
+    """The three checkpoint flavours of the paper's Algorithm 2."""
+
+    LOOP_BEGIN = "loop-begin"
+    BODY_BEGIN = "body-begin"
+    BODY_END = "body-end"
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    checkpoint_id: int
+    kind: CheckpointKind
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    pc: int
+    addr: int
+    size: int
+    is_write: bool
+
+    @property
+    def is_library(self) -> bool:
+        return is_library_pc(self.pc)
+
+
+TraceRecord = Checkpoint | Access
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Static description of one checkpoint id (from the annotator)."""
+
+    checkpoint_id: int
+    kind: CheckpointKind
+    #: node_id of the loop this checkpoint belongs to.
+    loop_node_id: int
+    #: "for" | "while" | "do"
+    loop_kind: str
+
+
+@dataclass
+class CheckpointMap:
+    """id → :class:`CheckpointInfo`, produced by the instrumentation pass."""
+
+    infos: dict[int, CheckpointInfo] = field(default_factory=dict)
+
+    def add(self, info: CheckpointInfo) -> None:
+        if info.checkpoint_id in self.infos:
+            raise ValueError(f"duplicate checkpoint id {info.checkpoint_id}")
+        self.infos[info.checkpoint_id] = info
+
+    def kind_of(self, checkpoint_id: int) -> CheckpointKind:
+        return self.infos[checkpoint_id].kind
+
+    def begin_id_for(self, checkpoint_id: int) -> int | None:
+        """The loop-begin checkpoint id of the loop owning ``checkpoint_id``.
+
+        All three checkpoints of one loop share a ``loop_node_id``; the
+        mapping is cached because this sits on the trace-processing hot
+        path.
+        """
+        cache = self.__dict__.get("_begin_cache")
+        if cache is None or len(cache) != len(self.infos):
+            begin_by_loop = {
+                info.loop_node_id: info.checkpoint_id
+                for info in self.infos.values()
+                if info.kind is CheckpointKind.LOOP_BEGIN
+            }
+            cache = {
+                cid: begin_by_loop.get(info.loop_node_id)
+                for cid, info in self.infos.items()
+            }
+            self.__dict__["_begin_cache"] = cache
+        return cache.get(checkpoint_id)
+
+    def __contains__(self, checkpoint_id: int) -> bool:
+        return checkpoint_id in self.infos
+
+    def __len__(self) -> int:
+        return len(self.infos)
+
+    def loops(self) -> set[int]:
+        """node_ids of all instrumented loops."""
+        return {info.loop_node_id for info in self.infos.values()}
+
+
+class TraceSink(Protocol):
+    """Anything that can consume trace records as they are produced."""
+
+    def emit(self, record: TraceRecord) -> None: ...
+
+
+class TraceCollector:
+    """A sink that stores all records in memory (tests, small runs)."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def accesses(self) -> list[Access]:
+        return [r for r in self.records if isinstance(r, Access)]
+
+    def checkpoints(self) -> list[Checkpoint]:
+        return [r for r in self.records if isinstance(r, Checkpoint)]
+
+
+class TraceWriter:
+    """A sink that streams records to a text file in the paper's format."""
+
+    def __init__(self, stream: io.TextIOBase):
+        self._stream = stream
+
+    def emit(self, record: TraceRecord) -> None:
+        if isinstance(record, Checkpoint):
+            self._stream.write(f"Checkpoint: {record.checkpoint_id}\n")
+        else:
+            kind = "wr" if record.is_write else "rd"
+            self._stream.write(f"Instr: {record.pc:x} addr: {record.addr:x} {kind}\n")
+
+
+def format_trace(records: Iterable[TraceRecord]) -> str:
+    """Render records as paper-format text (Figure 4c)."""
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    for record in records:
+        writer.emit(record)
+    return buffer.getvalue()
+
+
+def parse_trace(text: str, checkpoint_map: CheckpointMap) -> Iterator[TraceRecord]:
+    """Parse paper-format trace text back into records.
+
+    Access sizes are not part of the text format; they are restored as 1,
+    which is sufficient for the FORAY-GEN analysis (it never uses sizes).
+    """
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("Checkpoint:"):
+            checkpoint_id = int(line.split(":", 1)[1])
+            yield Checkpoint(checkpoint_id, checkpoint_map.kind_of(checkpoint_id))
+        elif line.startswith("Instr:"):
+            parts = line.split()
+            if len(parts) != 5 or parts[2] != "addr:":
+                raise ValueError(f"malformed trace line {line_number}: {line!r}")
+            pc = int(parts[1], 16)
+            addr = int(parts[3], 16)
+            yield Access(pc, addr, 1, parts[4] == "wr")
+        else:
+            raise ValueError(f"malformed trace line {line_number}: {line!r}")

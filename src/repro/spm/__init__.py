@@ -1,0 +1,44 @@
+"""Phase II substrate: SPM reuse analysis, buffer allocation, energy model.
+
+Implements the "Traditional SPM analysis and code transformation" box of
+the paper's Figure 3 (the design flow of reference [5]) so the value of
+FORAY-GEN — more references visible to this phase — can be measured end to
+end.
+"""
+
+from repro.spm.allocator import Allocation, allocate
+from repro.spm.candidates import (
+    BufferCandidate,
+    candidate_benefit,
+    candidates_for_reference,
+    enumerate_candidates,
+)
+from repro.spm.energy import EnergyModel
+from repro.spm.explore import (
+    DEFAULT_CAPACITIES,
+    ExplorationPoint,
+    best_allocation,
+    explore,
+    model_baseline_energy,
+)
+from repro.spm.reuse import ReuseLevel, inner_footprint, reuse_levels
+from repro.spm.transform import transform_model
+
+__all__ = [
+    "Allocation",
+    "allocate",
+    "BufferCandidate",
+    "candidate_benefit",
+    "candidates_for_reference",
+    "enumerate_candidates",
+    "EnergyModel",
+    "DEFAULT_CAPACITIES",
+    "ExplorationPoint",
+    "best_allocation",
+    "explore",
+    "model_baseline_energy",
+    "ReuseLevel",
+    "inner_footprint",
+    "reuse_levels",
+    "transform_model",
+]

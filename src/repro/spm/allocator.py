@@ -1,0 +1,69 @@
+"""Buffer selection under an SPM capacity (Phase II step 3).
+
+At most one candidate per reference may be selected (buffering the same
+reference at two levels is redundant), which makes this a multiple-choice
+knapsack. Capacities are small (hundreds of bytes to tens of KiB), so an
+exact dynamic program over 4-byte-granular capacity is fast and optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spm.candidates import BufferCandidate
+
+_GRANULE = 4
+
+
+@dataclass
+class Allocation:
+    """The outcome of design-space selection for one SPM capacity."""
+
+    capacity_bytes: int
+    selected: list[BufferCandidate] = field(default_factory=list)
+    total_benefit_nj: float = 0.0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(candidate.size_bytes for candidate in self.selected)
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self.selected)
+
+
+def allocate(candidates: list[BufferCandidate], capacity_bytes: int) -> Allocation:
+    """Exact multiple-choice knapsack over the candidate set."""
+    groups: dict[int, list[BufferCandidate]] = {}
+    for candidate in candidates:
+        groups.setdefault(id(candidate.reference), []).append(candidate)
+
+    slots = max(0, capacity_bytes // _GRANULE)
+    # best[c] = (benefit, chosen-list) using at most c granules.
+    best: list[float] = [0.0] * (slots + 1)
+    choice: list[dict[int, BufferCandidate]] = [{} for _ in range(slots + 1)]
+
+    for group_key, group in groups.items():
+        new_best = best[:]
+        new_choice = [dict(entry) for entry in choice]
+        for candidate in group:
+            need = -(-candidate.size_bytes // _GRANULE)  # ceil
+            if need > slots:
+                continue
+            for capacity in range(slots, need - 1, -1):
+                without = best[capacity - need] + candidate.benefit_nj
+                if without > new_best[capacity]:
+                    new_best[capacity] = without
+                    merged = dict(choice[capacity - need])
+                    merged[group_key] = candidate
+                    new_choice[capacity] = merged
+        best = new_best
+        choice = new_choice
+
+    winner = max(range(slots + 1), key=lambda c: best[c])
+    allocation = Allocation(capacity_bytes)
+    allocation.selected = sorted(
+        choice[winner].values(), key=lambda cand: -cand.benefit_nj
+    )
+    allocation.total_benefit_nj = best[winner]
+    return allocation

@@ -1,0 +1,39 @@
+"""Per-access energy model for the SPM phase.
+
+Default numbers follow the ratios reported by Banakar et al. ("Scratchpad
+Memory: A Design Alternative for Cache On-chip Memory in Embedded
+Systems", CODES 2002 — reference [1] of the paper): an on-chip scratch pad
+access costs roughly an order of magnitude less energy than an off-chip
+main-memory access. Absolute values are placeholders in nanojoules; only
+the ratios matter for the benchmark shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy per access, in nanojoules."""
+
+    spm_read_nj: float = 0.19
+    spm_write_nj: float = 0.21
+    main_read_nj: float = 3.57
+    main_write_nj: float = 4.19
+
+    def main_energy(self, reads: int, writes: int) -> float:
+        """Energy of serving all accesses from main memory."""
+        return reads * self.main_read_nj + writes * self.main_write_nj
+
+    def spm_energy(self, reads: int, writes: int) -> float:
+        """Energy of serving all accesses from the scratch pad."""
+        return reads * self.spm_read_nj + writes * self.spm_write_nj
+
+    def fill_energy(self, words: int) -> float:
+        """Copying ``words`` from main memory into the SPM."""
+        return words * (self.main_read_nj + self.spm_write_nj)
+
+    def writeback_energy(self, words: int) -> float:
+        """Copying ``words`` from the SPM back to main memory."""
+        return words * (self.spm_read_nj + self.main_write_nj)

@@ -1,0 +1,75 @@
+"""Design-space exploration over SPM capacities (Phase II step 3).
+
+Sweeps a set of scratch-pad sizes, allocating buffers at each size, and
+reports the achievable energy saving — including the comparison the paper
+motivates: how much of the saving is only reachable *because* FORAY-GEN
+exposed non-source-FORAY references to the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.foray.model import ForayModel
+from repro.spm.allocator import Allocation, allocate
+from repro.spm.candidates import enumerate_candidates
+from repro.spm.energy import EnergyModel
+
+#: Default sweep: typical embedded SPM capacities.
+DEFAULT_CAPACITIES = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class ExplorationPoint:
+    capacity_bytes: int
+    buffer_count: int
+    used_bytes: int
+    benefit_nj: float
+    baseline_nj: float
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.baseline_nj <= 0:
+            return 0.0
+        return self.benefit_nj / self.baseline_nj
+
+
+def model_baseline_energy(model: ForayModel, energy: EnergyModel) -> float:
+    """Energy of all model references served from main memory."""
+    return sum(
+        energy.main_energy(ref.reads, ref.writes) for ref in model.references
+    )
+
+
+def explore(
+    model: ForayModel,
+    capacities: tuple[int, ...] = DEFAULT_CAPACITIES,
+    energy: EnergyModel | None = None,
+) -> list[ExplorationPoint]:
+    """Allocate buffers at each capacity and report the energy savings."""
+    energy = energy or EnergyModel()
+    candidates = enumerate_candidates(model, energy)
+    baseline = model_baseline_energy(model, energy)
+    points: list[ExplorationPoint] = []
+    for capacity in capacities:
+        allocation: Allocation = allocate(candidates, capacity)
+        points.append(
+            ExplorationPoint(
+                capacity_bytes=capacity,
+                buffer_count=allocation.buffer_count,
+                used_bytes=allocation.used_bytes,
+                benefit_nj=allocation.total_benefit_nj,
+                baseline_nj=baseline,
+            )
+        )
+    return points
+
+
+def best_allocation(
+    model: ForayModel,
+    capacity_bytes: int,
+    energy: EnergyModel | None = None,
+) -> Allocation:
+    """Single-capacity convenience wrapper."""
+    energy = energy or EnergyModel()
+    return allocate(enumerate_candidates(model, energy), capacity_bytes)

@@ -1,0 +1,112 @@
+"""Phase II step 4 — rewriting the FORAY model to use the scratch pad.
+
+Produces the "Transformed FORAY model code" box of the paper's Figure 3:
+for every selected buffer, a buffer declaration, a fill loop at the right
+nesting level (annotated as a DMA transfer), the rewritten access, and an
+optional write-back loop. The designer then back-annotates this into the
+legacy code (Phase III, manual by design in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.spm.allocator import Allocation
+
+_INDENT = "    "
+
+
+def transform_model(allocation: Allocation) -> str:
+    """Render the SPM-transformed FORAY model as C-like text."""
+    lines: list[str] = [
+        f"/* SPM capacity: {allocation.capacity_bytes} bytes; "
+        f"{allocation.buffer_count} buffers selected; "
+        f"estimated saving {allocation.total_benefit_nj:.0f} nJ */",
+        "",
+    ]
+    for candidate in allocation.selected:
+        reference = candidate.reference
+        level = candidate.level
+        words = level.footprint_words
+        lines.append(
+            f"char {candidate.name}[{candidate.size_bytes}];  "
+            f"/* SPM buffer for {reference.array_name} */"
+        )
+    if allocation.selected:
+        lines.append("")
+
+    for candidate in allocation.selected:
+        reference = candidate.reference
+        level = candidate.level
+        loops = reference.effective_loops
+        outer_loops = loops[: len(loops) - level.level]
+        inner_loops = loops[len(loops) - level.level :]
+
+        depth = 0
+        for loop in outer_loops:
+            lines.append(
+                _INDENT * depth
+                + f"for (int {loop.name} = 0; {loop.name} < {loop.max_trip}; "
+                  f"{loop.name}++) {{"
+            )
+            depth += 1
+        lines.append(
+            _INDENT * depth
+            + f"dma_copy({candidate.name}, &{reference.array_name}"
+              f"[{_base_index(reference, outer_loops)}], "
+              f"{candidate.size_bytes});  /* fill */"
+        )
+        for loop in inner_loops:
+            lines.append(
+                _INDENT * depth
+                + f"for (int {loop.name} = 0; {loop.name} < {loop.max_trip}; "
+                  f"{loop.name}++) {{"
+            )
+            depth += 1
+        lines.append(
+            _INDENT * depth
+            + f"{candidate.name}[{_buffer_index(reference, inner_loops)}];  "
+              f"/* was {reference.array_name}[{reference.index_text()}] */"
+        )
+        for _ in inner_loops:
+            depth -= 1
+            lines.append(_INDENT * depth + "}")
+        if reference.writes:
+            lines.append(
+                _INDENT * depth
+                + f"dma_copy(&{reference.array_name}"
+                  f"[{_base_index(reference, outer_loops)}], {candidate.name}, "
+                  f"{candidate.size_bytes});  /* write back */"
+            )
+        for _ in outer_loops:
+            depth -= 1
+            lines.append(_INDENT * depth + "}")
+        lines.append("")
+
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _base_index(reference, outer_loops) -> str:
+    """Index of the first element covered by the buffer at this fill."""
+    expr = reference.expression
+    coefficients = expr.used_coefficients()
+    names_inner_first = [loop.name for loop in reversed(reference.effective_loops)]
+    outer_names = {loop.name for loop in outer_loops}
+    parts = [str(expr.const)]
+    for coefficient, name in zip(coefficients, names_inner_first):
+        if name in outer_names and coefficient:
+            parts.append(f"{coefficient}*{name}")
+    return "+".join(parts)
+
+
+def _buffer_index(reference, inner_loops) -> str:
+    """Index into the SPM buffer (inner iterators only, rebased to 0)."""
+    expr = reference.expression
+    coefficients = expr.used_coefficients()
+    names_inner_first = [loop.name for loop in reversed(reference.effective_loops)]
+    inner_names = {loop.name for loop in inner_loops}
+    parts = []
+    for coefficient, name in zip(coefficients, names_inner_first):
+        if name in inner_names and coefficient:
+            parts.append(f"{coefficient}*{name}")
+    return "+".join(parts) if parts else "0"

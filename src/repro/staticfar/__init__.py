@@ -1,0 +1,17 @@
+"""Static FORAY-form detection: the compile-time baseline of Table II."""
+
+from repro.staticfar.detector import (
+    CanonicalLoopInfo,
+    StaticAnalysisResult,
+    StaticForayDetector,
+    affine_terms,
+    detect,
+)
+
+__all__ = [
+    "CanonicalLoopInfo",
+    "StaticAnalysisResult",
+    "StaticForayDetector",
+    "affine_terms",
+    "detect",
+]

@@ -1,0 +1,19 @@
+"""Workloads: mini-MiBench suite and the paper's figure programs."""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    FIGURE_WORKLOADS,
+    MIBENCH_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "ALL_WORKLOADS",
+    "FIGURE_WORKLOADS",
+    "MIBENCH_WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

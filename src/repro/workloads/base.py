@@ -1,0 +1,20 @@
+"""Workload descriptor shared by the mini-MiBench suite and figure programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A MiniC benchmark program.
+
+    ``paper_counterpart`` names the MiBench benchmark whose memory-behaviour
+    *shape* this workload reproduces (see DESIGN.md for the substitution
+    rationale); None for the paper's figure examples.
+    """
+
+    name: str
+    source: str
+    description: str
+    paper_counterpart: str | None = None

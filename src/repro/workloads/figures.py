@@ -1,0 +1,205 @@
+"""The paper's running examples (Figures 1, 4, 7 and 9) as MiniC programs.
+
+These are the exact code shapes the paper uses to motivate and explain
+FORAY-GEN; the test suite and the figure benchmarks extract FORAY models
+from them and check the published outcomes (Figure 4's coefficients, the
+partial expressions of Figure 7, the duplication hint of Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+#: Figure 1 (top): jpeg-style pointer walk inside nested for loops.
+#: The paper's FORAY model (Figure 2, top) is a 3x64 nest with coefficients
+#: 4 (inner) and 256 (outer): ints written through a walking pointer with a
+#: per-component gap.
+FIG1A = Workload(
+    name="fig1a",
+    description="Figure 1 (top): *last_bitpos_ptr++ walk over components",
+    source="""
+struct jpeg_info {
+    int num_components;
+    int pad;
+};
+
+int last_bitpos[256];
+
+int main() {
+    struct jpeg_info info;
+    info.num_components = 3;
+    int *last_bitpos_ptr = last_bitpos;
+    int ci, coefi;
+    for (ci = 0; ci < info.num_components; ci++) {
+        for (coefi = 0; coefi < 64; coefi++) {
+            *last_bitpos_ptr++ = -1;
+        }
+    }
+    return 0;
+}
+""",
+)
+
+#: Figure 1 (bottom): while/for row loop writing through an index that is
+#: not the loop iterator. The paper's model (Figure 2, bottom) is a single
+#: 16-iteration loop with coefficient 4.
+FIG1B = Workload(
+    name="fig1b",
+    description="Figure 1 (bottom): while+for rowsperchunk loop",
+    source="""
+int result[64];
+
+int main() {
+    int numrows = 16;
+    int rowsperchunk = 16;
+    int workspace = 12345;
+    int currow = 0;
+    int i;
+    while (currow < numrows) {
+        for (i = rowsperchunk; i > 0; i--) {
+            result[currow++] = workspace;
+        }
+    }
+    return 0;
+}
+""",
+)
+
+#: Figure 4(a): the paper's end-to-end example. The expected FORAY model is
+#:   for i_while in 0..2: for i_for in 0..3: A[base + 1*i_for + 103*i_while]
+FIG4A = Workload(
+    name="fig4a",
+    description="Figure 4(a): while+for with a strided pointer walk",
+    source="""
+int main() {
+    char q[10000];
+    char *ptr = q;
+    int i, t1 = 98;
+    while (t1 < 100) {
+        t1++;
+        ptr += 100;
+        for (i = 40; i > 37; i--) {
+            *ptr++ = i * i % 256;
+        }
+    }
+    return 0;
+}
+""",
+)
+
+#: Figure 7 (left): a local array reallocated on every call — the constant
+#: term of foo's access changes per call, so only the iterators inside foo
+#: form a (partial) affine expression.
+FIG7A = Workload(
+    name="fig7a",
+    description="Figure 7 (left): reallocated local array => partial affine",
+    source="""
+int consume;
+
+int foo(int salt) {
+    int ret = 0;
+    int A[100];
+    int i, j;
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < 10; j++) {
+            A[j + 10 * i] = salt + i + j;
+        }
+    }
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < 10; j++) {
+            ret += A[j + 10 * i];
+        }
+    }
+    return ret;
+}
+
+int bar(int depth, int salt) {
+    /* Extra frames between calls move foo's locals around, like the
+       allocator variation the paper describes. */
+    int pad[32];
+    pad[salt % 32] = depth;
+    if (depth > 0) {
+        return bar(depth - 1, salt) + pad[salt % 32];
+    }
+    return foo(salt);
+}
+
+int main() {
+    int x, y, tmp = 0;
+    for (x = 0; x < 10; x++) {
+        for (y = 0; y < 10; y++) {
+            tmp += bar(x % 3, x * 10 + y);
+        }
+    }
+    consume = tmp;
+    return 0;
+}
+""",
+)
+
+#: Figure 7 (right): a global array accessed at a data-dependent offset
+#: passed into the function — again a partial affine expression.
+FIG7B = Workload(
+    name="fig7b",
+    description="Figure 7 (right): data-dependent offset => partial affine",
+    source="""
+int A[4096];
+int lines[10] = {0, 700, 140, 2100, 350, 2800, 490, 3500, 70, 630};
+int consume;
+
+int foo(int offset) {
+    int ret = 0;
+    int i, j;
+    for (i = 0; i < 10; i++) {
+        for (j = 0; j < 10; j++) {
+            ret += A[j + 10 * i + offset];
+        }
+    }
+    return ret;
+}
+
+int main() {
+    int x, tmp = 0;
+    for (x = 0; x < 10; x++) {
+        tmp += foo(lines[x]);
+    }
+    consume = tmp;
+    return 0;
+}
+""",
+)
+
+#: Figure 9: one function called from two loops with different access
+#: patterns — FORAY-GEN's inlined model exposes both and hints that
+#: duplicating foo() lets each call site be optimized separately.
+FIG9 = Workload(
+    name="fig9",
+    description="Figure 9: two call sites with different access patterns",
+    source="""
+int A[1024];
+int consume;
+
+int foo(int offset) {
+    int ret = 0;
+    int i;
+    for (i = 0; i < 10; i++) {
+        ret += A[i + offset];
+    }
+    return ret;
+}
+
+int main() {
+    int x, y, tmp = 0;
+    for (x = 0; x < 10; x++) {
+        tmp += foo(10 * x);
+    }
+    for (y = 0; y < 20; y++) {
+        tmp += foo(2 * y);
+    }
+    consume = tmp;
+    return 0;
+}
+""",
+)
+
+ALL_FIGURES = (FIG1A, FIG1B, FIG4A, FIG7A, FIG7B, FIG9)

@@ -1,0 +1,109 @@
+"""mini-adpcm — scaled-down counterpart of MiBench ``adpcm`` (encoder).
+
+The paper's adpcm row is the minimal case: exactly two executed loops (one
+``for``, one ``while`` — 50%/50% in Table I), exactly one reference in the
+FORAY model, and *nothing* visible to static analysis (100%/100% in
+Table II).
+
+Reproduction of that shape:
+
+* the input PCM buffer is staged through the library (``read_samples``,
+  the stand-in for file input);
+* the ``for`` table-initialization loop has a runtime-configured bound, so
+  it is invisible to the static baseline, and its table is small enough
+  that the step-4 purge drops its reference (Nloc);
+* the encoder ``while`` loop reads input through a walking pointer — the
+  single model reference — and packs two 4-bit codes per output byte, an
+  alternating-stride pattern that Algorithm 3 correctly refuses to fit.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+/* mini-adpcm: IMA-style encoder over 4096 samples read from "file". */
+
+int indexadj[8];
+int tabsize = 8;
+int inbuf[4096];
+char outbuf[2048];
+int out_count;
+
+int main() {
+    int i;
+    /* Index-adjustment table, sized by a runtime configuration value:
+       the bound is not a compile-time constant, so the loop is invisible
+       to static FORAY-form analysis. */
+    for (i = 0; i < tabsize; i++) {
+        indexadj[i] = (i < 4) ? -1 : (i - 3) * 2;
+    }
+
+    read_samples(inbuf, 4096);
+
+    int *inp = inbuf;
+    char *outp = outbuf;
+    int predicted = 0;
+    int step = 7;
+    int index = 0;
+    int n = 0;
+    int pending = 0;
+    while (n < 4096) {
+        int sample = *inp++;
+
+        int diff = sample - predicted;
+        int sign = 0;
+        if (diff < 0) {
+            sign = 4;
+            diff = -diff;
+        }
+        int code = 0;
+        if (diff >= step) {
+            code = 2;
+            diff -= step;
+        }
+        if (diff >= step / 2) {
+            code += 1;
+        }
+        int delta = (2 * code + 1) * step / 4;
+        if (sign) {
+            predicted -= delta;
+        } else {
+            predicted += delta;
+        }
+        if (predicted > 2047) {
+            predicted = 2047;
+        }
+        if (predicted < -2048) {
+            predicted = -2048;
+        }
+        index += indexadj[sign / 4 * 4 + code > 7 ? 7 : sign / 4 * 4 + code];
+        if (index < 0) {
+            index = 0;
+        }
+        if (index > 63) {
+            index = 63;
+        }
+        step = 7 + index * 2;
+
+        /* Pack two 4-bit codes per byte: the output pointer advances only
+           every other sample (not affine in the loop iterator). */
+        if (n % 2 == 0) {
+            pending = sign + code;
+        } else {
+            *outp++ = (char)(pending * 16 + sign + code);
+        }
+        n++;
+    }
+    out_count = n;
+    printf("adpcm encoded %d samples\\n", n);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="adpcm",
+    source=SOURCE,
+    description="IMA-style ADPCM encoder over 4096 library-read samples",
+    paper_counterpart="adpcm (MiBench telecomm)",
+)

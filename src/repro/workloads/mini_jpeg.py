@@ -1,0 +1,201 @@
+"""mini-jpeg — scaled-down counterpart of MiBench ``jpeg`` (cjpeg encoder).
+
+Reproduces the paper's motivating code shapes (its Figure 1 is excerpted
+from this benchmark):
+
+* the ``*last_bitpos_ptr++`` initialization walk inside nested ``for``
+  loops (Figure 1 top),
+* the ``while (currow < numrows)`` row loop advancing an index that is not
+  the loop iterator (Figure 1 bottom),
+* loop bounds pulled from a config struct (``cinfo->num_components``), so
+  the loops are not statically canonical,
+* 8x8 DCT blocks with literal-bound loops over a local workspace (the
+  statically visible FORAY-form part),
+* zigzag reordering through an index table and variable-length entropy
+  packing (irregular — correctly excluded from the model).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+/* mini-jpeg: 48x48 3-component encode: level shift, DCT, quant, entropy. */
+
+struct jpeg_config {
+    int width;
+    int height;
+    int num_components;
+    int quality;
+};
+
+struct jpeg_config cinfo;
+
+char input[6912];       /* 48*48*3 interleaved RGB */
+char component[2304];   /* one extracted component plane */
+int  coef[2304];        /* DCT coefficients of one plane  */
+int  quanttbl[64];
+int  zigzag[64];
+int  last_bitpos[192];  /* 3 components x 64 coefficients */
+char bitstream[8192];
+int  bits_used;
+int  total_value;
+
+void make_input() {
+    /* BMP-style row reader: a while row loop wrapping a pointer-walk for
+       loop (the paper's Figure 1, bottom shape). */
+    int currow = 0;
+    int i;
+    char *p = input;
+    while (currow < 48) {
+        for (i = 0; i < 144; i++) {
+            *p++ = (char)((currow * 7 + i * 3) % 255);
+        }
+        currow++;
+    }
+}
+
+void init_tables() {
+    int i, k;
+    /* Quant table: canonical literal loop (FORAY form in the source). */
+    for (i = 0; i < 64; i++) {
+        quanttbl[i] = 1 + (i / 8) + (i % 8) + 50 / cinfo.quality;
+    }
+    /* Zigzag order: table length derived from runtime config. */
+    k = 0;
+    for (i = 0; i < cinfo.quality + 39; i++) {
+        zigzag[i] = (k * 5 + 3) % 64;
+        k = zigzag[i];
+    }
+    /* The paper's Figure 1 (top): initialize last_bitpos via a walking
+       pointer under a struct-bound loop. */
+    int ci, coefi;
+    int *last_bitpos_ptr = last_bitpos;
+    for (ci = 0; ci < cinfo.num_components; ci++) {
+        for (coefi = 0; coefi < 64; coefi++) {
+            *last_bitpos_ptr++ = -1;
+        }
+    }
+}
+
+void extract_component(int comp) {
+    /* Strided gather from interleaved input, written legacy-style with
+       while loops and config-struct bounds. */
+    int r = 0;
+    while (r < cinfo.height) {
+        int c = 0;
+        while (c < cinfo.width) {
+            component[48 * r + c] = input[3 * (48 * r + c) + comp];
+            c++;
+        }
+        r++;
+    }
+}
+
+void dct_block(int br, int bc) {
+    int workspace[64];
+    int u, v, x, y;
+    /* Load + level shift: literal 8x8 loops, affine in the source only up
+       to the block offset parameters (dynamically fully affine). */
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+            workspace[8 * y + x] = component[48 * (8 * br + y) + 8 * bc + x] - 128;
+        }
+    }
+    /* Integer "DCT": separable butterfly-ish passes over the workspace;
+       literal bounds, statically FORAY-form. */
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 4; x++) {
+            int a = workspace[8 * y + x];
+            int b = workspace[8 * y + 7 - x];
+            workspace[8 * y + x] = a + b;
+            workspace[8 * y + 7 - x] = (a - b) * (x + 1);
+        }
+    }
+    for (x = 0; x < 8; x++) {
+        for (y = 0; y < 4; y++) {
+            int a = workspace[8 * y + x];
+            int b = workspace[8 * (7 - y) + x];
+            workspace[8 * y + x] = a + b;
+            workspace[8 * (7 - y) + x] = (a - b) * (y + 1);
+        }
+    }
+    /* Quantize into the coefficient plane. */
+    for (u = 0; u < 8; u++) {
+        for (v = 0; v < 8; v++) {
+            coef[48 * (8 * br + u) + 8 * bc + v] =
+                workspace[8 * u + v] / quanttbl[8 * u + v];
+        }
+    }
+}
+
+void entropy_encode() {
+    /* Zigzag gather (table-indexed: irregular) + variable-length pack:
+       while loop over blocks, do loop emitting bits. */
+    int block = 0;
+    int k;
+    char *out = bitstream;
+    int bitbuf = 0;
+    int nbits = 0;
+    while (block < 36) {
+        int br = block / 6;
+        int bc = block % 6;
+        for (k = 0; k < 64; k++) {
+            int zz = zigzag[k];
+            int value = coef[48 * (8 * br + zz / 8) + 8 * bc + zz % 8];
+            int mag = value < 0 ? -value : value;
+            do {
+                bitbuf = bitbuf * 2 + mag % 2;
+                mag = mag / 2;
+                nbits++;
+                if (nbits == 8) {
+                    *out++ = (char)bitbuf;
+                    bitbuf = 0;
+                    nbits = 0;
+                }
+            } while (mag > 0);
+            total_value += value;
+        }
+        block++;
+    }
+    bits_used = (int)(out - bitstream);
+}
+
+int main() {
+    int comp, b;
+    cinfo.width = 48;
+    cinfo.height = 48;
+    cinfo.num_components = 3;
+    cinfo.quality = 25;
+
+    make_input();
+    init_tables();
+    for (comp = 0; comp < cinfo.num_components; comp++) {
+        extract_component(comp);
+        for (b = 0; b < 36; b++) {
+            dct_block(b / 6, b % 6);
+        }
+        entropy_encode();
+    }
+    /* Byte-stuffing scan over the produced bitstream (marker bytes). */
+    char *bp = bitstream;
+    int stuffed = 0;
+    while (bp < bitstream + 2048) {
+        if ((*bp & 255) == 255) {
+            stuffed++;
+        }
+        bp++;
+    }
+
+    printf("jpeg bytes %d stuffed %d checksum %d\\n", bits_used, stuffed,
+           total_value);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="jpeg",
+    source=SOURCE,
+    description="48x48x3 JPEG-style encode: DCT blocks, quant, entropy pack",
+    paper_counterpart="jpeg/cjpeg (MiBench consumer)",
+)

@@ -1,0 +1,193 @@
+"""mini-lame — scaled-down counterpart of MiBench ``lame`` (MP3 encoder).
+
+lame is the biggest benchmark of the suite and the only one with a
+significant share of ``do`` loops (9% in Table I — its iterative
+quantization loops). Shape targets:
+
+* loop mix dominated by ``for`` with a few ``while`` and ``do`` loops;
+* the largest model-reference count of the suite, ~40% not in source
+  FORAY form (Table II);
+* about a fifth of all accesses inside the library (Table III) — here
+  from ``memcpy`` ring-buffer shifts, the staged PCM input and
+  transcendental calls in the MDCT/psychoacoustic stages.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+/* mini-lame: 12 frames of subband analysis + MDCT + iterative quant. */
+
+struct frame_params {
+    int num_frames;
+    int subbands;
+    int max_iterations;
+};
+
+struct frame_params params;
+
+int pcm[2304];          /* 12 frames x 192 samples */
+int ringbuf[128];
+int window[32];
+int subband_out[384];   /* 12 frames x 32 */
+double mdct_in[32];
+double mdct_out[96];    /* 12 frames x 8 */
+int quantized[96];
+int scalefactors[12];
+double masking[96];
+char stream[512];
+int stream_len;
+int bit_reservoir;
+int checksum;
+
+void init_window() {
+    int i;
+    for (i = 0; i < 32; i++) {
+        window[i] = 32 - (i - 16) * (i - 16) / 8;
+    }
+}
+
+void subband_analysis(int frame) {
+    int s, k;
+    /* Shift the ring buffer with the library (as lame does). */
+    memcpy(ringbuf, ringbuf + 96, 128);
+    memcpy(ringbuf + 32, pcm + 192 * frame, 384);
+    /* Windowed subband sums: literal-bound for loops, FORAY form. */
+    for (s = 0; s < params.subbands; s++) {
+        int acc = 0;
+        for (k = 0; k < 32; k++) {
+            acc += ringbuf[k + s] * window[k];
+        }
+        subband_out[32 * frame + s] = acc / 32;
+    }
+}
+
+void mdct(int frame) {
+    int i, m;
+    for (i = 0; i < 32; i++) {
+        mdct_in[i] = (double)subband_out[32 * frame + i];
+    }
+    /* 8-line MDCT with on-the-fly twiddles (library transcendentals). */
+    for (m = 0; m < params.subbands / 4; m++) {
+        double acc = 0.0;
+        for (i = 0; i < 32; i++) {
+            acc += mdct_in[i] * cos(0.0490873852 * (double)((2 * i + 1 + 16) * (2 * m + 1)));
+        }
+        mdct_out[8 * frame + m] = acc;
+    }
+}
+
+int psychoacoustic_all() {
+    /* Masking thresholds from log energies, computed in one batch pass
+       with literal bounds (FORAY form), plus pre-echo detection. */
+    int frame, m;
+    int flags = 0;
+    for (frame = 0; frame < 12; frame++) {
+        for (m = 0; m < 8; m++) {
+            double energy = mdct_out[8 * frame + m];
+            masking[8 * frame + m] = log(fabs(energy) + 1.0);
+        }
+    }
+    for (frame = 0; frame < 12; frame++) {
+        for (m = 1; m < 8; m++) {
+            if (fabs(masking[8 * frame + m] - masking[8 * frame + m - 1]) > 2.0) {
+                flags++;
+            }
+        }
+    }
+    return flags;
+}
+
+int quantize(int frame) {
+    /* Iterative scalefactor search: the classic lame do-while pair. */
+    int sf = 1;
+    int bits;
+    int m;
+    do {
+        bits = 0;
+        for (m = 0; m < 8; m++) {
+            int q = (int)(mdct_out[8 * frame + m]) / (sf * 16);
+            if (q < 0) {
+                q = -q;
+            }
+            quantized[8 * frame + m] = q;
+            while (q > 0) {
+                bits++;
+                q = q / 2;
+            }
+        }
+        sf++;
+    } while (bits > 40 && sf < params.max_iterations);
+    scalefactors[frame] = sf;
+    return bits;
+}
+
+void format_bitstream(int bits) {
+    /* Bit-reservoir bookkeeping: do loop, scalar state only. */
+    int need = bits;
+    do {
+        bit_reservoir += 40 - need;
+        if (bit_reservoir > 4000) {
+            bit_reservoir = 4000;
+        }
+        need = 0;
+    } while (bit_reservoir < 0);
+}
+
+void write_stream() {
+    /* Serialize the quantized lines: a pointer-walking while loop. */
+    int *qp = quantized;
+    char *sp = stream;
+    while (qp < quantized + 96) {
+        *sp++ = (char)(*qp > 255 ? 255 : *qp);
+        qp++;
+    }
+    stream_len = (int)(sp - stream);
+}
+
+int main() {
+    int frame, i;
+    int best = 0;
+    params.num_frames = 12;
+    params.subbands = 32;
+    params.max_iterations = 16;
+
+    init_window();
+    read_samples(pcm, 2304);  /* stage the PCM input via the library */
+    for (frame = 0; frame < params.num_frames; frame++) {
+        subband_analysis(frame);
+        mdct(frame);
+    }
+    int echo_flags = psychoacoustic_all();
+    for (frame = 0; frame < params.num_frames; frame++) {
+        int bits = quantize(frame) + echo_flags;
+        format_bitstream(bits);
+    }
+    write_stream();
+
+    /* Pick the smallest scalefactor (canonical scan; tiny footprint). */
+    for (i = 1; i < 12; i++) {
+        if (scalefactors[i] < scalefactors[best]) {
+            best = i;
+        }
+    }
+
+    int acc = 0;
+    for (i = 0; i < 96; i++) {
+        acc += quantized[i] + (int)masking[i];
+    }
+    checksum = acc + best;
+    printf("lame checksum %d reservoir %d len %d\\n", acc, bit_reservoir,
+           stream_len);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="lame",
+    source=SOURCE,
+    description="12 frames of subband analysis, MDCT, psychoacoustics and "
+                "iterative quantization",
+    paper_counterpart="lame (MiBench consumer)",
+)

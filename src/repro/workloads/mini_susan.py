@@ -1,0 +1,138 @@
+"""mini-susan — scaled-down counterpart of MiBench ``susan`` (image
+recognition: smoothing + corner/edge response).
+
+Shape targets from the paper:
+
+* Table I: a small loop count with roughly 4:1 for:while mix;
+* Table II: most model *loops* not in source FORAY form (78% in the paper)
+  — SUSAN passes its image geometry around as function parameters, so even
+  its ``for`` loops have statically unknown bounds — while about half the
+  model *references* are already FORAY-form (the paper: 50%);
+* Table III: the model captures the majority of all accesses (66% in the
+  paper, the highest of the suite) because the mask convolutions dominate.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+/* mini-susan: 48x48 smoothing + USAN response + thresholding. */
+
+char image[2304];
+char smoothed[2304];
+int response[2304];
+char lut[256];
+int corners;
+int edge_acc;
+
+/* Brightness LUT and synthetic image use literal bounds: these loops and
+   references are FORAY-form in the source. */
+void build_lut() {
+    int i;
+    for (i = 0; i < 256; i++) {
+        lut[i] = (char)(100 - (i > 100 ? 100 : i) / 2);
+    }
+}
+
+void make_image() {
+    int i;
+    for (i = 0; i < 2304; i++) {
+        image[i] = (char)(((i / 48) * 5 + (i % 48) * 3 + i % 7) % 200);
+    }
+}
+
+/* SUSAN-style smoothing: geometry comes in as parameters, the walk is a
+   pointer scan — invisible to static analysis, regular at runtime. */
+void smooth(char *in, char *out, int width, int height, int mask) {
+    int dy, dx;
+    char *ip = in + width + 1;
+    char *op = out + width + 1;
+    int row = height - 2;
+    while (row > 0) {
+        int col = width - 2;
+        while (col > 0) {
+            int total = 0;
+            for (dy = 0; dy < mask; dy++) {
+                for (dx = 0; dx < mask; dx++) {
+                    total += *(ip + width * (dy - 1) + (dx - 1));
+                }
+            }
+            *op = (char)(total / (mask * mask));
+            ip++;
+            op++;
+            col--;
+        }
+        ip += 2;
+        op += 2;
+        row--;
+    }
+}
+
+/* USAN response: for loops with parameter bounds, explicit indexing that
+   multiplies a parameter (width) into the subscript — affine at runtime,
+   not statically. */
+void usan(char *in, int *resp, int width, int height) {
+    int y, x;
+    for (y = 1; y < height - 1; y++) {
+        for (x = 1; x < width - 1; x++) {
+            int center = in[width * y + x];
+            int count = 0;
+            count += lut[(in[width * y + x - 1] - center) & 255];
+            count += lut[(in[width * (y - 1) + x] - center) & 255];
+            resp[width * y + x] = count;
+        }
+    }
+}
+
+/* Edge accumulation over the interior, literal bounds: FORAY form. */
+void edges() {
+    int i;
+    int acc = 0;
+    for (i = 48; i < 2304; i++) {
+        acc += response[i] - response[i - 48];
+    }
+    edge_acc = acc;
+}
+
+/* Global brightness statistic, literal bounds: FORAY form. */
+int brightness() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 2304; i++) {
+        total += smoothed[i];
+    }
+    return total / 2304;
+}
+
+int main() {
+    build_lut();
+    make_image();
+    smooth(image, smoothed, 48, 48, 3);
+    usan(smoothed, response, 48, 48);
+    edges();
+    int mean = brightness();
+
+    /* Threshold scan: pointer walk in a while loop. */
+    int *rp = response;
+    int found = 0;
+    int remaining = 2304;
+    while (remaining > 0) {
+        if (*rp > 250) {
+            found++;
+        }
+        rp++;
+        remaining--;
+    }
+    corners = found;
+    printf("susan corners %d edges %d mean %d\\n", found, edge_acc, mean);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="susan",
+    source=SOURCE,
+    description="48x48 SUSAN-style smoothing, USAN response, thresholding",
+    paper_counterpart="susan (MiBench automotive)",
+)

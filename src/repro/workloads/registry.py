@@ -1,0 +1,46 @@
+"""Registry of all workloads: the six mini-MiBench programs plus the
+paper's figure examples."""
+
+from __future__ import annotations
+
+from repro.workloads import (
+    mini_adpcm,
+    mini_fft,
+    mini_gsm,
+    mini_jpeg,
+    mini_lame,
+    mini_susan,
+)
+from repro.workloads.base import Workload
+from repro.workloads.figures import ALL_FIGURES
+
+#: The paper's evaluation suite, in the paper's table order.
+MIBENCH_WORKLOADS: dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        mini_jpeg.WORKLOAD,
+        mini_lame.WORKLOAD,
+        mini_susan.WORKLOAD,
+        mini_fft.WORKLOAD,
+        mini_gsm.WORKLOAD,
+        mini_adpcm.WORKLOAD,
+    )
+}
+
+#: The figure examples, addressable by name too.
+FIGURE_WORKLOADS: dict[str, Workload] = {fig.name: fig for fig in ALL_FIGURES}
+
+ALL_WORKLOADS: dict[str, Workload] = {**MIBENCH_WORKLOADS, **FIGURE_WORKLOADS}
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of the mini-MiBench suite, in paper order."""
+    return tuple(MIBENCH_WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None

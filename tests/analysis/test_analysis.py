@@ -1,0 +1,100 @@
+"""Unit tests for census, coverage and report formatting."""
+
+from repro.analysis.census import LoopCensus, count_lines, loop_census
+from repro.analysis.coverage import ForayFormCoverage, MemoryBehavior
+from repro.analysis.report import (
+    format_table1,
+    format_table2,
+    format_table3,
+    summarize_headline,
+)
+
+
+class TestCensus:
+    def test_count_lines_ignores_blank(self):
+        assert count_lines("a\n\n  \nb\n") == 2
+
+    def test_loop_census_breakdown(self):
+        census = loop_census(
+            "x", "line\n", {1: "for", 2: "for", 3: "while", 4: "do"}
+        )
+        assert census.total_loops == 4
+        assert census.for_loops == 2
+        assert census.for_pct == 50.0
+        assert census.while_pct == 25.0
+        assert census.non_for_pct == 50.0
+
+    def test_empty_census(self):
+        census = loop_census("x", "", {})
+        assert census.total_loops == 0
+        assert census.for_pct == 0.0
+
+
+class TestCoverageDataclasses:
+    def test_table2_percentages(self):
+        row = ForayFormCoverage("x", loops_in_model=10, refs_in_model=8,
+                                loops_in_source_form=4, refs_in_source_form=2)
+        assert row.loops_not_in_source_form_pct == 60.0
+        assert row.refs_not_in_source_form_pct == 75.0
+        assert row.improvement_ratio == 4.0
+
+    def test_table2_infinite_ratio(self):
+        row = ForayFormCoverage("x", 2, 1, 0, 0)
+        assert row.improvement_ratio == float("inf")
+
+    def test_table2_empty_model(self):
+        row = ForayFormCoverage("x", 0, 0, 0, 0)
+        assert row.loops_not_in_source_form_pct == 0.0
+        assert row.improvement_ratio == 1.0
+
+    def test_table3_percentages(self):
+        row = MemoryBehavior(
+            "x", total_references=100, total_accesses=1000, total_footprint=500,
+            model_references=10, model_accesses=400, model_footprint=250,
+            lib_references=20, lib_accesses=100, lib_footprint=50,
+        )
+        assert row.model_refs_pct == 10.0
+        assert row.model_accesses_pct == 40.0
+        assert row.model_footprint_pct == 50.0
+        assert row.lib_accesses_pct == 10.0
+        assert row.other_accesses_pct == 50.0
+
+
+class TestReportFormatting:
+    CENSUS = [LoopCensus("jpeg", 100, 20, 13, 6, 1)]
+    COVERAGE = [ForayFormCoverage("jpeg", 10, 8, 6, 5)]
+    BEHAVIOR = [MemoryBehavior("jpeg", 100, 1000, 500, 10, 400, 250, 20, 100, 50)]
+
+    def test_table1_includes_paper_columns(self):
+        text = format_table1(self.CENSUS)
+        assert "jpeg" in text
+        assert "paper:loops" in text
+        assert "169" in text  # paper jpeg loop count
+
+    def test_table1_without_paper(self):
+        text = format_table1(self.CENSUS, with_paper=False)
+        assert "paper" not in text
+
+    def test_table2_ratio_column(self):
+        text = format_table2(self.COVERAGE)
+        assert "1.60" in text
+
+    def test_table3_columns(self):
+        text = format_table3(self.BEHAVIOR)
+        assert "model:acc%" in text
+        assert "40" in text
+
+    def test_unknown_benchmark_dashes(self):
+        text = format_table1([LoopCensus("mystery", 1, 1, 1, 0, 0)])
+        assert "-" in text
+
+    def test_headline_summary(self):
+        text = summarize_headline(self.COVERAGE)
+        assert "1.60x" in text
+        assert "paper: ~2x" in text
+
+    def test_headline_with_infinite_ratio(self):
+        rows = [ForayFormCoverage("a", 2, 4, 0, 0),
+                ForayFormCoverage("b", 2, 4, 2, 2)]
+        text = summarize_headline(rows)
+        assert "2.00x" in text or "3.00x" in text

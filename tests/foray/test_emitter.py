@@ -1,0 +1,120 @@
+"""Tests for FORAY-model C emission (paper Figures 2 / 4d style)."""
+
+from repro.foray.emitter import emit_model
+from repro.foray.extractor import extract_from_source
+from repro.foray.filters import FilterConfig
+from repro.lang.parser import parse
+
+RELAXED = FilterConfig(nexec=1, nloc=1)
+
+
+def emit(source, filter_config=None, **kwargs):
+    model, _, _ = extract_from_source(source, filter_config)
+    return model, emit_model(model, **kwargs)
+
+
+SIMPLE = (
+    "int g[64]; int main() { int i; for (i = 0; i < 64; i++) g[i] = i;"
+    " return 0; }"
+)
+
+
+class TestEmission:
+    def test_paper_shape(self):
+        model, text = emit(SIMPLE)
+        (ref,) = model.references
+        assert f"for (int {ref.loop_path[0].name} = 0;" in text
+        assert f"{ref.array_name}[" in text
+        assert "extern char" in text
+
+    def test_array_named_after_pc(self):
+        model, text = emit(SIMPLE)
+        (ref,) = model.references
+        assert ref.array_name == f"A{ref.pc:x}"
+        assert ref.array_name in text
+
+    def test_index_expression_order_inner_first(self):
+        # Paper prints const + C_inner*i_inner + C_outer*i_outer.
+        model, text = emit(
+            "int g[16][16]; int main() { int i, j;"
+            " for (i = 0; i < 16; i++) for (j = 0; j < 16; j++) g[i][j] = 1;"
+            " return 0; }"
+        )
+        (ref,) = model.references
+        inner = ref.loop_path[-1].name
+        outer = ref.loop_path[0].name
+        body = ref.index_text()
+        assert body.index(f"4*{inner}") < body.index(f"64*{outer}")
+
+    def test_shared_nest_grouped(self):
+        model, text = emit(
+            "int a[64]; int b[64]; int main() { int i;"
+            " for (i = 0; i < 64; i++) { a[i] = b[i]; } return 0; }"
+        )
+        assert len(model.references) == 2
+        # One loop header serves both references.
+        assert text.count("for (int") == 1
+
+    def test_partial_reference_annotated(self):
+        model, text = emit(
+            """
+            int A[4096];
+            int lines[8] = {0, 900, 140, 2100, 350, 2800, 490, 3500};
+            int acc;
+            int foo(int off) { int i; int r = 0;
+                for (i = 0; i < 64; i++) r += A[i + off]; return r; }
+            int main() { int x; for (x = 0; x < 8; x++) acc += foo(lines[x]);
+                return 0; }
+            """
+        )
+        partial = [r for r in model.references if not r.is_full]
+        assert partial
+        assert "partial" in text
+
+    def test_partial_emitted_under_inner_loops_only(self):
+        model, text = emit(
+            """
+            int A[4096];
+            int lines[8] = {0, 900, 140, 2100, 350, 2800, 490, 3500};
+            int acc;
+            int foo(int off) { int i; int r = 0;
+                for (i = 0; i < 64; i++) r += A[i + off]; return r; }
+            int main() { int x; for (x = 0; x < 8; x++) acc += foo(lines[x]);
+                return 0; }
+            """
+        )
+        partial = [r for r in model.references if not r.is_full][0]
+        assert len(partial.effective_loops) == partial.expression.num_iterators
+        assert len(partial.effective_loops) < partial.nest_depth
+
+    def test_comments_can_be_disabled(self):
+        _, text = emit(SIMPLE, include_comments=False)
+        assert "/*" not in text
+
+    def test_extern_decls_can_be_disabled(self):
+        _, text = emit(SIMPLE, include_extern_decls=False)
+        assert "extern" not in text
+
+    def test_empty_model(self):
+        model, text = emit("int main() { return 0; }")
+        assert model.references == []
+        assert text == ""
+
+    def test_emitted_loops_are_parseable_c(self):
+        # With externs on and comments off, the emitted model must parse
+        # as MiniC wrapped in a function (the paper calls it "a C program").
+        model, text = emit(SIMPLE, include_comments=False,
+                           include_extern_decls=False)
+        (ref,) = model.references
+        wrapped = (
+            f"int {ref.array_name}[4096];\n"
+            f"int main() {{\n{text}\nreturn 0;\n}}"
+        )
+        parse(wrapped)  # must not raise
+
+    def test_original_loop_kind_noted(self):
+        _, text = emit(
+            "char buf[256]; int main() { char *p = buf; int n = 0;"
+            " while (n < 200) { *p++ = 1; n++; } return 0; }"
+        )
+        assert "originally a while loop" in text

@@ -1,0 +1,145 @@
+"""Reproduction tests for the paper's figure examples (Figures 1, 2, 4, 7, 9).
+
+These pin the published outcomes: the FORAY models of Figure 2, the
+Figure 4(d) coefficients (1 and 103), the partial affine expressions of
+Figure 7, and the duplication hint of Figure 9.
+"""
+
+from repro.foray.emitter import emit_model
+from repro.foray.hints import inlining_hints
+
+
+class TestFigure1A:
+    """jpeg last_bitpos walk -> paper Figure 2 (top): coefficients 4, 256."""
+
+    def test_model_shape(self, fig1a_extraction):
+        (ref,) = fig1a_extraction.model.references
+        assert ref.expression.used_coefficients() == (4, 256)
+        assert [loop.max_trip for loop in ref.loop_path] == [3, 64]
+        assert ref.is_full
+
+    def test_both_loops_are_for(self, fig1a_extraction):
+        (ref,) = fig1a_extraction.model.references
+        assert {loop.kind for loop in ref.loop_path} == {"for"}
+
+    def test_emission_matches_paper_structure(self, fig1a_extraction):
+        text = emit_model(fig1a_extraction.model, include_comments=False)
+        (ref,) = fig1a_extraction.model.references
+        outer, inner = ref.loop_path
+        assert f"for (int {outer.name} = 0; {outer.name} < 3" in text
+        assert f"for (int {inner.name} = 0; {inner.name} < 64" in text
+        assert f"4*{inner.name}+256*{outer.name}" in text
+
+
+class TestFigure1B:
+    """while+for rowsperchunk loop -> paper Figure 2 (bottom): a single
+    16-iteration level with coefficient 4 and a 1-trip outer loop."""
+
+    def test_model_shape(self, fig1b_extraction):
+        (ref,) = fig1b_extraction.model.references
+        trips = [loop.max_trip for loop in ref.loop_path]
+        assert trips == [1, 16]
+        assert ref.expression.used_coefficients()[0] == 4
+        assert ref.exec_count == 16
+
+    def test_outer_is_while(self, fig1b_extraction):
+        (ref,) = fig1b_extraction.model.references
+        assert ref.loop_path[0].kind == "while"
+
+
+class TestFigure4:
+    """The end-to-end example: A4002a0[2147440948 + 1*i15 + 103*i12]."""
+
+    def _ref(self, fig4a_extraction):
+        refs = fig4a_extraction.model.references
+        assert len(refs) == 1
+        return refs[0]
+
+    def test_coefficients(self, fig4a_extraction):
+        ref = self._ref(fig4a_extraction)
+        assert ref.expression.used_coefficients() == (1, 103)
+
+    def test_trip_counts(self, fig4a_extraction):
+        ref = self._ref(fig4a_extraction)
+        assert [loop.max_trip for loop in ref.loop_path] == [2, 3]
+
+    def test_six_writes(self, fig4a_extraction):
+        ref = self._ref(fig4a_extraction)
+        assert ref.exec_count == 6
+        assert ref.writes == 6
+        assert ref.footprint == 6
+
+    def test_full_expression(self, fig4a_extraction):
+        assert self._ref(fig4a_extraction).is_full
+
+    def test_index_text_shape(self, fig4a_extraction):
+        ref = self._ref(fig4a_extraction)
+        inner = ref.loop_path[-1].name
+        outer = ref.loop_path[0].name
+        assert ref.index_text().endswith(f"1*{inner}+103*{outer}")
+
+    def test_base_is_stack_address(self, fig4a_extraction):
+        ref = self._ref(fig4a_extraction)
+        assert 0x7FF00000 < ref.expression.const < 0x80000000
+
+
+class TestFigure7A:
+    """Reallocated local array: partial affine over foo's own loops."""
+
+    def test_partial_references_found(self, fig7a_extraction):
+        partial = [r for r in fig7a_extraction.model.references
+                   if not r.is_full and r.nest_depth >= 4]
+        assert partial
+
+    def test_inner_coefficients_recovered(self, fig7a_extraction):
+        partial = [r for r in fig7a_extraction.model.references
+                   if not r.is_full and r.nest_depth >= 4]
+        for ref in partial:
+            used = ref.expression.used_coefficients()
+            # Innermost j has stride 4, i has stride 40 (paper's A[j+10i]).
+            assert used[0] == 4
+            if len(used) >= 2:
+                assert used[1] == 40
+
+    def test_m_smaller_than_nest(self, fig7a_extraction):
+        partial = [r for r in fig7a_extraction.model.references
+                   if not r.is_full and r.nest_depth >= 4]
+        for ref in partial:
+            assert ref.expression.num_iterators < ref.nest_depth
+
+
+class TestFigure7B:
+    """Data-dependent offset: partial over exactly foo's two loops."""
+
+    def test_partial_over_inner_two(self, fig7b_extraction):
+        refs = [r for r in fig7b_extraction.model.references
+                if r.nest_depth == 3]
+        assert refs
+        for ref in refs:
+            assert not ref.is_full
+            assert ref.expression.num_iterators == 2
+            assert ref.expression.used_coefficients() == (4, 40)
+
+    def test_lines_table_itself_full(self, fig7b_extraction):
+        # lines[x] is a perfectly affine read under the x loop.
+        small = [r for r in fig7b_extraction.model.unfiltered_references
+                 if r.nest_depth == 1 and r.exec_count == 10]
+        assert any(r.is_full for r in small)
+
+
+class TestFigure9:
+    def test_two_contexts_with_different_patterns(self, fig9_extraction):
+        model = fig9_extraction.model
+        assert len(model.references) == 2
+        coeff_sets = {r.expression.used_coefficients() for r in model.references}
+        assert coeff_sets == {(4, 40), (4, 8)}
+
+    def test_hint_generated(self, fig9_extraction):
+        hints = inlining_hints(fig9_extraction.model,
+                               fig9_extraction.compiled.program)
+        (hint,) = hints
+        assert hint.patterns_differ
+        assert hint.function_name == "foo"
+
+    def test_references_fully_affine(self, fig9_extraction):
+        assert all(r.is_full for r in fig9_extraction.model.references)

@@ -1,0 +1,74 @@
+"""Unit tests for the step-4 purge heuristic."""
+
+from repro.foray.filters import PAPER_NEXEC, PAPER_NLOC, FilterConfig
+from repro.foray.model import AffineExpression, ForayReference
+
+
+def make_ref(exec_count=100, footprint=100, coefficients=(4,), num_iterators=None):
+    num = len(coefficients) if num_iterators is None else num_iterators
+    return ForayReference(
+        pc=0x400000,
+        loop_path=(),
+        expression=AffineExpression(0x1000, tuple(coefficients), num),
+        exec_count=exec_count,
+        footprint=footprint,
+        reads=exec_count,
+        writes=0,
+    )
+
+
+class TestPaperDefaults:
+    def test_paper_constants(self):
+        config = FilterConfig()
+        assert config.nexec == PAPER_NEXEC == 20
+        assert config.nloc == PAPER_NLOC == 10
+
+    def test_keeps_typical_reference(self):
+        assert FilterConfig().keep(make_ref())
+
+    def test_exec_threshold_inclusive(self):
+        config = FilterConfig()
+        assert config.keep(make_ref(exec_count=20))
+        assert not config.keep(make_ref(exec_count=19))
+
+    def test_footprint_threshold_inclusive(self):
+        config = FilterConfig()
+        assert config.keep(make_ref(footprint=10))
+        assert not config.keep(make_ref(footprint=9))
+
+    def test_requires_an_iterator(self):
+        config = FilterConfig()
+        assert not config.keep(make_ref(coefficients=(0,)))
+        assert not config.keep(make_ref(coefficients=(None,)))
+
+    def test_partial_with_inner_iterator_kept(self):
+        # M=1 of a 2-deep nest: the used part still includes an iterator.
+        ref = make_ref(coefficients=(4, 80), num_iterators=1)
+        assert FilterConfig().keep(ref)
+
+    def test_partial_with_all_zero_used_coeffs_dropped(self):
+        ref = make_ref(coefficients=(0, 80), num_iterators=1)
+        assert not FilterConfig().keep(ref)
+
+
+class TestConfigurability:
+    def test_relaxed_keeps_small(self):
+        config = FilterConfig(nexec=1, nloc=1)
+        assert config.keep(make_ref(exec_count=2, footprint=2))
+
+    def test_iterator_requirement_can_be_disabled(self):
+        config = FilterConfig(require_iterator=False)
+        assert config.keep(make_ref(coefficients=(0,)))
+
+    def test_apply_preserves_order(self):
+        refs = [make_ref(exec_count=100), make_ref(exec_count=5),
+                make_ref(exec_count=200)]
+        kept = FilterConfig().apply(refs)
+        assert kept == [refs[0], refs[2]]
+
+    def test_stricter_filter_is_subset(self):
+        refs = [make_ref(exec_count=e, footprint=f)
+                for e in (5, 25, 100) for f in (5, 15, 50)]
+        loose = set(map(id, FilterConfig(nexec=10, nloc=10).apply(refs)))
+        strict = set(map(id, FilterConfig(nexec=50, nloc=20).apply(refs)))
+        assert strict <= loose

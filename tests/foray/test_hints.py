@@ -1,0 +1,89 @@
+"""Tests for inter-function inlining/duplication hints (paper Figure 9)."""
+
+from repro.foray.extractor import extract_from_source
+from repro.foray.hints import function_of_node, inlining_hints
+from repro.sim.trace import node_id_of_pc
+
+
+def get_hints(source, **kwargs):
+    model, _, compiled = extract_from_source(source)
+    return inlining_hints(model, compiled.program, **kwargs), model, compiled
+
+
+TWO_SITES = """
+int A[1024];
+int consume;
+int foo(int offset) {
+    int ret = 0;
+    int i;
+    for (i = 0; i < 32; i++) {
+        ret += A[i + offset];
+    }
+    return ret;
+}
+int main() {
+    int x, y, tmp = 0;
+    for (x = 0; x < 10; x++) { tmp += foo(10 * x); }
+    for (y = 0; y < 20; y++) { tmp += foo(2 * y); }
+    consume = tmp;
+    return 0;
+}
+"""
+
+
+class TestHints:
+    def test_two_contexts_detected(self):
+        hints, model, _ = get_hints(TWO_SITES)
+        (hint,) = hints
+        assert hint.context_count == 2
+        assert hint.patterns_differ
+
+    def test_function_named(self):
+        hints, _, _ = get_hints(TWO_SITES)
+        assert hints[0].function_name == "foo"
+
+    def test_describe_mentions_duplication(self):
+        hints, _, _ = get_hints(TWO_SITES)
+        assert "duplicating" in hints[0].describe()
+
+    def test_identical_patterns_no_duplication_advice(self):
+        source = TWO_SITES.replace("foo(10 * x)", "foo(4 * x)").replace(
+            "foo(2 * y)", "foo(4 * y)").replace("y < 20", "y < 10")
+        hints, _, _ = get_hints(source)
+        (hint,) = hints
+        assert not hint.patterns_differ
+        assert "single optimized version" in hint.describe()
+
+    def test_single_context_no_hint(self):
+        source = """
+        int A[256]; int consume;
+        int main() { int i, t = 0;
+            for (i = 0; i < 64; i++) t += A[i];
+            consume = t; return 0; }
+        """
+        hints, _, _ = get_hints(source)
+        assert hints == []
+
+    def test_function_of_node_resolves(self):
+        hints, model, compiled = get_hints(TWO_SITES)
+        pc = hints[0].pc
+        assert function_of_node(compiled.program, node_id_of_pc(pc)) == "foo"
+
+    def test_function_of_node_unknown(self):
+        _, _, compiled = get_hints(TWO_SITES)
+        assert function_of_node(compiled.program, 10**9) is None
+
+    def test_filtered_out_contexts_still_hint(self):
+        # One call site runs the loop only 4 times (purged by Nexec), but
+        # the hint is about the function, not one context.
+        source = """
+        int A[1024]; int consume;
+        int foo(int offset) { int i; int r = 0;
+            for (i = 0; i < 32; i++) r += A[i + offset]; return r; }
+        int main() { int x, tmp = 0;
+            for (x = 0; x < 10; x++) tmp += foo(8 * x);
+            tmp += foo(500);
+            consume = tmp; return 0; }
+        """
+        hints_all, _, _ = get_hints(source)
+        assert hints_all and hints_all[0].context_count == 2

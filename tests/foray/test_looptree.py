@@ -1,0 +1,188 @@
+"""Unit tests for Algorithm 2 (loop tree reconstruction).
+
+These tests drive the builder with synthetic checkpoint streams so the
+tricky disambiguation cases (nested vs sequential, zero-iteration loops,
+re-entry, missing body-ends after break) are pinned independently of the
+simulator.
+"""
+
+import pytest
+
+from repro.foray.looptree import LoopTreeBuilder
+from repro.sim.trace import (
+    Checkpoint,
+    CheckpointInfo,
+    CheckpointKind,
+    CheckpointMap,
+)
+
+B, S, E = (CheckpointKind.LOOP_BEGIN, CheckpointKind.BODY_BEGIN,
+           CheckpointKind.BODY_END)
+
+
+def make_map(num_loops: int, kind: str = "for") -> CheckpointMap:
+    cmap = CheckpointMap()
+    for loop in range(num_loops):
+        base = 10 + 3 * loop
+        cmap.add(CheckpointInfo(base, B, 100 + loop, kind))
+        cmap.add(CheckpointInfo(base + 1, S, 100 + loop, kind))
+        cmap.add(CheckpointInfo(base + 2, E, 100 + loop, kind))
+    return cmap
+
+
+def build(cmap, events):
+    builder = LoopTreeBuilder(cmap)
+    for checkpoint_id, kind in events:
+        builder.on_checkpoint(Checkpoint(checkpoint_id, kind))
+    return builder
+
+
+class TestStructure:
+    def test_single_loop_two_iterations(self):
+        builder = build(make_map(1), [
+            (10, B), (11, S), (12, E), (11, S), (12, E),
+        ])
+        root = builder.finish()
+        (node,) = root.children.values()
+        assert node.begin_id == 10
+        assert node.max_trip == 2
+        assert node.min_trip == 2
+        assert node.entries == 1
+        assert node.total_iterations == 2
+
+    def test_nested_loops(self):
+        builder = build(make_map(2), [
+            (10, B), (11, S),
+            (13, B), (14, S), (15, E),
+            (12, E),
+        ])
+        root = builder.finish()
+        outer = root.children[10]
+        assert list(outer.children) == [13]
+        assert outer.children[13].depth == 2
+
+    def test_sequential_loops_are_siblings(self):
+        builder = build(make_map(2), [
+            (10, B), (11, S), (12, E),
+            (13, B), (14, S), (15, E),
+        ])
+        root = builder.finish()
+        assert set(root.children) == {10, 13}
+        assert root.children[13].depth == 1
+
+    def test_sequential_inside_outer(self):
+        cmap = make_map(3)
+        builder = build(cmap, [
+            (10, B), (11, S),
+            (13, B), (14, S), (15, E),
+            (16, B), (17, S), (18, E),
+            (12, E),
+        ])
+        root = builder.finish()
+        outer = root.children[10]
+        assert set(outer.children) == {13, 16}
+
+    def test_zero_iteration_loop(self):
+        builder = build(make_map(2), [
+            (10, B),                # never iterates
+            (13, B), (14, S), (15, E),
+        ])
+        root = builder.finish()
+        assert set(root.children) == {10, 13}
+        assert root.children[10].max_trip == 0
+
+    def test_reentry_same_node(self):
+        # The same loop entered twice (e.g. a function called twice from
+        # the same context) maps to ONE node with two entries.
+        builder = build(make_map(1), [
+            (10, B), (11, S), (12, E),
+            (10, B), (11, S), (12, E), (11, S), (12, E),
+        ])
+        root = builder.finish()
+        (node,) = root.children.values()
+        assert node.entries == 2
+        assert node.min_trip == 1
+        assert node.max_trip == 2
+
+    def test_inner_loop_reentered_per_outer_iteration(self):
+        builder = build(make_map(2), [
+            (10, B),
+            (11, S), (13, B), (14, S), (15, E), (12, E),
+            (11, S), (13, B), (14, S), (15, E), (12, E),
+        ])
+        root = builder.finish()
+        inner = root.children[10].children[13]
+        assert inner.entries == 2
+        assert inner.total_iterations == 2
+
+    def test_break_with_cleanup_body_end(self):
+        # Our annotator closes the body on break, so the stream stays
+        # well-nested and the next loop is correctly a sibling.
+        builder = build(make_map(2), [
+            (10, B), (11, S), (12, E), (11, S), (12, E),  # second iter broke
+            (13, B), (14, S), (15, E),
+        ])
+        root = builder.finish()
+        assert set(root.children) == {10, 13}
+
+    def test_missing_body_end_misnests(self):
+        # Documented limitation of three-kind checkpoint streams: if a
+        # body-end is genuinely missing, a following loop-begin cannot be
+        # distinguished from a nested loop.
+        builder = build(make_map(2), [
+            (10, B), (11, S),  # body left open
+            (13, B), (14, S), (15, E),
+        ])
+        root = builder.finish()
+        assert set(root.children) == {10}
+        assert set(root.children[10].children) == {13}
+
+    def test_same_loop_different_contexts_distinct_nodes(self):
+        # Loop 13 under loop 10 vs at top level: two nodes (inlining).
+        builder = build(make_map(2), [
+            (10, B), (11, S), (13, B), (14, S), (15, E), (12, E),
+            (13, B), (14, S), (15, E),
+        ])
+        root = builder.finish()
+        nested = root.children[10].children[13]
+        top = root.children[13]
+        assert nested.uid != top.uid
+        assert nested.ast_node_id == top.ast_node_id
+
+
+class TestIterators:
+    def test_iterator_values_track_body_begins(self):
+        cmap = make_map(2)
+        builder = LoopTreeBuilder(cmap)
+        seen = []
+        events = [
+            (10, B), (11, S),
+            (13, B), (14, S), (15, E), (14, S), (15, E),
+            (12, E),
+            (11, S),
+            (13, B), (14, S),
+        ]
+        for checkpoint_id, kind in events:
+            builder.on_checkpoint(Checkpoint(checkpoint_id, kind))
+            seen.append(builder.current_iterators())
+        # After the last body-begin of loop 13 under outer iteration 1:
+        assert seen[-1] == (0, 1)  # innermost first
+
+    def test_depth_tracks_stack(self):
+        builder = build(make_map(2), [(10, B), (11, S), (13, B), (14, S)])
+        assert builder.depth == 2
+
+    def test_unknown_checkpoint_rejected(self):
+        builder = LoopTreeBuilder(make_map(1))
+        with pytest.raises(ValueError):
+            builder.on_checkpoint(Checkpoint(99, S))
+
+    def test_kind_recorded_from_map(self):
+        builder = build(make_map(1, kind="do"), [(10, B), (11, S), (12, E)])
+        (node,) = builder.finish().children.values()
+        assert node.kind == "do"
+
+    def test_path_from_root(self):
+        builder = build(make_map(2), [(10, B), (11, S), (13, B), (14, S)])
+        path = builder.current.path_from_root()
+        assert [n.begin_id for n in path] == [10, 13]

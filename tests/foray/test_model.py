@@ -1,0 +1,100 @@
+"""Unit tests for the FORAY model dataclasses."""
+
+from repro.foray.model import (
+    AffineExpression,
+    ForayLoop,
+    ForayModel,
+    ForayReference,
+)
+
+
+def loop(begin_id, trip, uid=None, kind="for"):
+    return ForayLoop(begin_id=begin_id, kind=kind, depth=1, max_trip=trip,
+                     min_trip=trip, entries=1, total_iterations=trip,
+                     uid=uid or begin_id)
+
+
+def ref(pc=0x400100, coefficients=(4, 128), num_iterators=None, loops=None,
+        mispredictions=0, exec_count=100, footprint=50):
+    num = len(coefficients) if num_iterators is None else num_iterators
+    path = loops if loops is not None else (loop(10, 4), loop(13, 32))
+    return ForayReference(
+        pc=pc, loop_path=path,
+        expression=AffineExpression(1000, tuple(coefficients), num),
+        exec_count=exec_count, footprint=footprint, reads=exec_count,
+        writes=0, mispredictions=mispredictions,
+    )
+
+
+class TestAffineExpression:
+    def test_evaluate(self):
+        expr = AffineExpression(100, (4, 64), 2)
+        assert expr.evaluate((0, 0)) == 100
+        assert expr.evaluate((3, 2)) == 100 + 12 + 128
+
+    def test_unknown_coefficient_treated_as_zero(self):
+        expr = AffineExpression(100, (4, None), 2)
+        assert expr.used_coefficients() == (4, 0)
+        assert expr.evaluate((1, 5)) == 104
+
+    def test_is_full(self):
+        assert AffineExpression(0, (1, 2), 2).is_full
+        assert not AffineExpression(0, (1, 2), 1).is_full
+
+    def test_includes_iterator(self):
+        assert AffineExpression(0, (4,), 1).includes_iterator()
+        assert not AffineExpression(0, (0,), 1).includes_iterator()
+        assert not AffineExpression(0, (0, 7), 1).includes_iterator()
+
+    def test_format_paper_style(self):
+        expr = AffineExpression(2147440948, (1, 103), 2)
+        assert expr.format(("i15", "i12")) == "2147440948+1*i15+103*i12"
+
+    def test_format_partial_shows_used_only(self):
+        expr = AffineExpression(500, (8, 99), 1)
+        assert expr.format(("a",)) == "500+8*a"
+
+
+class TestForayLoop:
+    def test_name(self):
+        assert loop(15, 3).name == "i15"
+
+    def test_constant_trip(self):
+        assert loop(10, 4).has_constant_trip
+        varying = ForayLoop(10, "for", 1, 5, 2, 3, 12, uid=1)
+        assert not varying.has_constant_trip
+
+
+class TestForayReference:
+    def test_array_name(self):
+        assert ref(pc=0x4002A0).array_name == "A4002a0"
+
+    def test_is_full_requires_no_mispredictions(self):
+        assert ref().is_full
+        assert not ref(mispredictions=1).is_full
+        assert not ref(num_iterators=1).is_full
+
+    def test_effective_loops_partial(self):
+        reference = ref(num_iterators=1)
+        assert [lp.begin_id for lp in reference.effective_loops] == [13]
+
+    def test_effective_loops_full(self):
+        assert len(ref().effective_loops) == 2
+
+    def test_index_text_names_loops(self):
+        text = ref().index_text()
+        assert "4*i13" in text and "128*i10" in text
+
+
+class TestForayModel:
+    def test_partition_and_queries(self):
+        full = ref()
+        partial = ref(pc=0x400200, num_iterators=1, mispredictions=2)
+        model = ForayModel(references=[full, partial],
+                           loops=list(full.loop_path))
+        assert model.reference_count == 2
+        assert model.loop_count == 2
+        assert model.full_references() == [full]
+        assert model.partial_references() == [partial]
+        assert len(model.references_in_loop(13)) == 2
+        assert model.references_in_loop(99) == []

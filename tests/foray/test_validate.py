@@ -1,0 +1,114 @@
+"""Tests for model validation / cross-input prediction accuracy."""
+
+from repro.foray.extractor import ForayExtractor
+from repro.foray.filters import FilterConfig
+from repro.foray.validate import validate_model
+from repro.sim.machine import compile_program, run_compiled
+from repro.sim.trace import TraceCollector
+
+RELAXED = FilterConfig(nexec=1, nloc=1)
+
+
+def profile(source, filter_config=None):
+    compiled = compile_program(source)
+    collector = TraceCollector()
+    extractor = ForayExtractor(compiled.checkpoint_map, filter_config)
+    run_compiled(compiled, sinks=(collector, extractor))
+    return extractor.finish(), collector, compiled
+
+
+AFFINE = """
+int g[128];
+int main() {
+    int i, j;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 32; j++)
+            g[32 * i + j] = i + j;
+    return 0;
+}
+"""
+
+
+class TestSelfValidation:
+    def test_full_model_predicts_its_own_trace(self):
+        model, collector, compiled = profile(AFFINE)
+        report = validate_model(model, collector.records, compiled.checkpoint_map)
+        assert report.overall_accuracy == 1.0
+        assert report.total_checked == 128
+        assert report.unexercised == 0
+
+    def test_partial_model_predicts_within_contexts(self):
+        source = """
+        int A[4096];
+        int lines[8] = {0, 900, 140, 2100, 350, 2800, 490, 3500};
+        int acc;
+        int foo(int off) { int i; int r = 0;
+            for (i = 0; i < 64; i++) r += A[i + off]; return r; }
+        int main() { int x; for (x = 0; x < 8; x++) acc += foo(lines[x]);
+            return 0; }
+        """
+        model, collector, compiled = profile(source)
+        assert model.partial_references()
+        report = validate_model(model, collector.records, compiled.checkpoint_map)
+        # Each context re-anchors once; everything else must be predicted.
+        assert report.overall_accuracy == 1.0
+
+    def test_summary_text(self):
+        model, collector, compiled = profile(AFFINE)
+        report = validate_model(model, collector.records, compiled.checkpoint_map)
+        assert "128/128" in report.summary()
+
+
+class TestCrossInputValidation:
+    """The paper's future-work question: does the model transfer across
+    profiling inputs? For data-independent access patterns it must."""
+
+    TEMPLATE = """
+    int g[256];
+    int main() {{
+        int i;
+        for (i = 0; i < 256; i++) g[i] = i * {scale};
+        return 0;
+    }}
+    """
+
+    def test_model_transfers_when_pattern_is_data_independent(self):
+        model_a, _, _ = profile(self.TEMPLATE.format(scale=3))
+        _, collector_b, compiled_b = profile(self.TEMPLATE.format(scale=9))
+        report = validate_model(model_a, collector_b.records,
+                                compiled_b.checkpoint_map)
+        assert report.overall_accuracy == 1.0
+
+    def test_data_dependent_model_fails_to_transfer(self):
+        source_a = """
+        int g[256]; int n = 200;
+        int main() { int i; for (i = 0; i < n; i++) g[i] = i; return 0; }
+        """
+        source_b = """
+        int g[256]; int n = 200;
+        int main() { int i; for (i = 0; i < n; i++) g[i + 7] = i; return 0; }
+        """
+        model_a, _, _ = profile(source_a)
+        _, collector_b, compiled_b = profile(source_b)
+        report = validate_model(model_a, collector_b.records,
+                                compiled_b.checkpoint_map)
+        # The base shifted: a full expression from run A mispredicts run B.
+        assert report.overall_accuracy < 0.5
+
+    def test_unexercised_references_counted(self):
+        model_a, _, _ = profile(AFFINE)
+        # Replay an empty trace.
+        _, _, compiled = profile(AFFINE)
+        report = validate_model(model_a, [], compiled.checkpoint_map)
+        assert report.unexercised == len(model_a.references)
+        assert report.overall_accuracy == 1.0  # vacuous
+
+    def test_library_accesses_ignored(self):
+        source = """
+        int a[64]; int b[64];
+        int main() { int i; for (i = 0; i < 64; i++) a[i] = i;
+            memcpy(b, a, 256); return 0; }
+        """
+        model, collector, compiled = profile(source)
+        report = validate_model(model, collector.records, compiled.checkpoint_map)
+        assert report.total_checked == 64  # only the user store

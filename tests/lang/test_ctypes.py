@@ -1,0 +1,120 @@
+"""Unit tests for the MiniC type system (ILP32 layout rules)."""
+
+import pytest
+
+from repro.lang.ctypes_ import (
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ArrayType,
+    PointerType,
+    integer_promote,
+    layout_struct,
+    usual_arithmetic_conversion,
+)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "ctype,size",
+        [(CHAR, 1), (SHORT, 2), (INT, 4), (LONG, 8), (FLOAT, 4), (DOUBLE, 8)],
+    )
+    def test_scalar_sizes(self, ctype, size):
+        assert ctype.size == size
+
+    def test_pointer_is_32_bit(self):
+        assert PointerType(INT).size == 4
+        assert PointerType(DOUBLE).size == 4
+
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size == 40
+
+    def test_2d_array_size(self):
+        assert ArrayType(ArrayType(CHAR, 4), 3).size == 12
+
+    def test_array_alignment_is_element_alignment(self):
+        assert ArrayType(DOUBLE, 2).alignment == 8
+
+
+class TestIntSemantics:
+    def test_signed_char_wrap(self):
+        assert CHAR.wrap(130) == -126
+        assert CHAR.wrap(-129) == 127
+
+    def test_unsigned_char_wrap(self):
+        assert UCHAR.wrap(256) == 0
+        assert UCHAR.wrap(-1) == 255
+
+    def test_int_wrap(self):
+        assert INT.wrap(2**31) == -(2**31)
+        assert UINT.wrap(-1) == 2**32 - 1
+
+    def test_ranges(self):
+        assert INT.min_value == -(2**31)
+        assert INT.max_value == 2**31 - 1
+        assert UINT.min_value == 0
+
+    def test_wrap_identity_in_range(self):
+        for value in (-128, 0, 127):
+            assert CHAR.wrap(value) == value
+
+
+class TestStructLayout:
+    def test_simple_layout(self):
+        struct = layout_struct("p", [("x", INT), ("y", INT)])
+        assert struct.size == 8
+        assert struct.member("y").offset == 4
+
+    def test_padding_for_alignment(self):
+        struct = layout_struct("p", [("c", CHAR), ("x", INT)])
+        assert struct.member("x").offset == 4
+        assert struct.size == 8
+
+    def test_tail_padding(self):
+        struct = layout_struct("p", [("x", INT), ("c", CHAR)])
+        assert struct.size == 8  # padded to int alignment
+
+    def test_double_member_alignment(self):
+        struct = layout_struct("p", [("c", CHAR), ("d", DOUBLE)])
+        assert struct.member("d").offset == 8
+        assert struct.size == 16
+        assert struct.alignment == 8
+
+    def test_array_member(self):
+        struct = layout_struct("p", [("a", ArrayType(SHORT, 3)), ("x", INT)])
+        assert struct.member("x").offset == 8
+
+    def test_empty_struct(self):
+        struct = layout_struct("e", [])
+        assert struct.size == 0
+
+    def test_member_lookup_missing(self):
+        struct = layout_struct("p", [("x", INT)])
+        assert struct.has_member("x")
+        assert not struct.has_member("y")
+
+
+class TestConversions:
+    def test_integer_promotion(self):
+        assert integer_promote(CHAR) == INT
+        assert integer_promote(SHORT) == INT
+        assert integer_promote(INT) == INT
+        assert integer_promote(LONG) == LONG
+
+    def test_uac_float_wins(self):
+        assert usual_arithmetic_conversion(INT, DOUBLE) == DOUBLE
+        assert usual_arithmetic_conversion(FLOAT, INT) == FLOAT
+
+    def test_uac_wider_integer_wins(self):
+        assert usual_arithmetic_conversion(INT, LONG) == LONG
+
+    def test_uac_unsigned_wins_same_width(self):
+        assert usual_arithmetic_conversion(INT, UINT) == UINT
+
+    def test_uac_narrow_promoted(self):
+        assert usual_arithmetic_conversion(CHAR, CHAR) == INT

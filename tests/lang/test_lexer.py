@@ -1,0 +1,200 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestIdentifiersAndKeywords:
+    def test_identifier(self):
+        tokens = tokenize("foo_bar42")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "foo_bar42"
+
+    def test_underscore_prefix(self):
+        assert tokenize("_x")[0].value == "_x"
+
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("int", TokenKind.KW_INT),
+            ("char", TokenKind.KW_CHAR),
+            ("while", TokenKind.KW_WHILE),
+            ("do", TokenKind.KW_DO),
+            ("for", TokenKind.KW_FOR),
+            ("struct", TokenKind.KW_STRUCT),
+            ("sizeof", TokenKind.KW_SIZEOF),
+            ("return", TokenKind.KW_RETURN),
+            ("unsigned", TokenKind.KW_UNSIGNED),
+        ],
+    )
+    def test_keywords(self, word, kind):
+        assert tokenize(word)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        # "formula" starts with "for" but is one identifier.
+        tokens = tokenize("formula")
+        assert tokens[0].kind is TokenKind.IDENT
+
+
+class TestIntegerLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("42", 42),
+            ("2147483647", 2147483647),
+            ("0x10", 16),
+            ("0xFF", 255),
+            ("0xdeadBEEF", 0xDEADBEEF),
+            ("010", 8),  # octal
+            ("0777", 0o777),
+        ],
+    )
+    def test_values(self, text, value):
+        token = tokenize(text)[0]
+        assert token.kind is TokenKind.INT_LIT
+        assert token.value == value
+
+    @pytest.mark.parametrize("text", ["42u", "42U", "42L", "42ul", "0x10UL"])
+    def test_suffixes_are_consumed(self, text):
+        tokens = tokenize(text)
+        assert tokens[0].kind is TokenKind.INT_LIT
+        assert tokens[1].kind is TokenKind.EOF
+
+    def test_bad_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestFloatLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1.5", 1.5),
+            ("0.25", 0.25),
+            (".5", 0.5),
+            ("1e3", 1000.0),
+            ("2.5e-2", 0.025),
+            ("1E+2", 100.0),
+        ],
+    )
+    def test_values(self, text, value):
+        token = tokenize(text)[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == pytest.approx(value)
+
+    def test_float_suffix(self):
+        tokens = tokenize("1.5f")
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[1].kind is TokenKind.EOF
+
+    def test_integer_then_member_not_float(self):
+        # "a.b" must not lex the dot into a float.
+        assert kinds("a.b") == [TokenKind.IDENT, TokenKind.DOT, TokenKind.IDENT]
+
+
+class TestCharAndString:
+    @pytest.mark.parametrize(
+        "text,value",
+        [("'a'", ord("a")), ("'0'", ord("0")), (r"'\n'", 10), (r"'\0'", 0),
+         (r"'\\'", ord("\\")), (r"'\x41'", 0x41)],
+    )
+    def test_char(self, text, value):
+        token = tokenize(text)[0]
+        assert token.kind is TokenKind.CHAR_LIT
+        assert token.value == value
+
+    def test_string(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind is TokenKind.STRING_LIT
+        assert token.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\tb\n"')[0].value == "a\tb\n"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_empty_char(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+
+class TestOperators:
+    def test_greedy_multichar(self):
+        assert kinds("a<<=b") == [TokenKind.IDENT, TokenKind.LSHIFT_ASSIGN,
+                                  TokenKind.IDENT]
+
+    def test_increment_vs_plus(self):
+        assert kinds("a++ + b") == [
+            TokenKind.IDENT, TokenKind.PLUS_PLUS, TokenKind.PLUS, TokenKind.IDENT,
+        ]
+
+    def test_arrow(self):
+        assert kinds("p->f") == [TokenKind.IDENT, TokenKind.ARROW, TokenKind.IDENT]
+
+    def test_all_comparisons(self):
+        assert kinds("< > <= >= == !=") == [
+            TokenKind.LT, TokenKind.GT, TokenKind.LE, TokenKind.GE,
+            TokenKind.EQ, TokenKind.NE,
+        ]
+
+    def test_logical(self):
+        assert kinds("&& || ! & |") == [
+            TokenKind.AND_AND, TokenKind.OR_OR, TokenKind.BANG,
+            TokenKind.AMP, TokenKind.PIPE,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_preprocessor_line_skipped(self):
+        assert kinds("#include <stdio.h>\nint") == [TokenKind.KW_INT]
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_location_in_error(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("\n\n  @")
+        assert exc.value.location.line == 3

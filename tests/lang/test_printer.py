@@ -1,0 +1,94 @@
+"""Tests for the pretty-printer, including parse/print round trips."""
+
+import pytest
+
+from repro.instrument.checkpoints import instrument
+from repro.lang.parser import parse
+from repro.lang.printer import to_source
+from repro.lang.semantics import parse_and_analyze
+from repro.workloads.registry import ALL_WORKLOADS
+
+
+def roundtrip(source: str) -> str:
+    return to_source(parse(source))
+
+
+class TestRoundTrip:
+    def test_print_is_reparseable_fixed_point(self):
+        source = """
+        struct p { int x; int y[4]; };
+        struct p g;
+        int table[4] = {1, 2, 3, 4};
+        int f(int a, char *s) {
+            int i;
+            for (i = 0; i < a; i++) {
+                if (i % 2 == 0) {
+                    g.x += table[i] * 2;
+                } else {
+                    continue;
+                }
+            }
+            while (a > 0) { a--; }
+            do { a++; } while (a < 2);
+            return g.x + (a > 1 ? 1 : 0);
+        }
+        int main() { return f(4, "hi"); }
+        """
+        once = roundtrip(source)
+        twice = roundtrip(once)
+        assert once == twice
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_workloads_roundtrip(self, name):
+        source = ALL_WORKLOADS[name].source
+        once = roundtrip(source)
+        twice = roundtrip(once)
+        assert once == twice
+
+    def test_precedence_preserved(self):
+        # (1 + 2) * 3 must keep its parentheses through the round trip.
+        source = "int main() { return (1 + 2) * 3; }"
+        printed = roundtrip(source)
+        assert "(1 + 2) * 3" in printed
+
+    def test_nested_unary_printed(self):
+        printed = roundtrip("int main() { int x; return -(-x); }")
+        assert "--" not in printed  # must not merge into decrement
+
+    def test_string_escapes_printed(self):
+        printed = roundtrip('int main() { printf("a\\nb\\"c"); return 0; }')
+        assert '"a\\nb\\"c"' in printed
+
+
+class TestCheckpointPrinting:
+    def test_instrumented_loop_shows_checkpoints(self):
+        program = parse_and_analyze(
+            "int main() { int i; for (i = 0; i < 3; i++) { } return 0; }"
+        )
+        instrument(program)
+        printed = to_source(program)
+        assert "CHECKPOINT(10);" in printed  # loop-begin
+        assert "CHECKPOINT(11);" in printed  # body-begin
+        assert "CHECKPOINT(12);" in printed  # body-end
+
+    def test_checkpoints_suppressed_on_request(self):
+        program = parse_and_analyze(
+            "int main() { int i; while (i < 3) { i++; } return 0; }"
+        )
+        instrument(program)
+        printed = to_source(program, show_checkpoints=False)
+        assert "CHECKPOINT" not in printed
+
+    def test_uninstrumented_has_no_checkpoints(self):
+        program = parse_and_analyze(
+            "int main() { int i; for (i = 0; i < 3; i++) { } return 0; }"
+        )
+        assert "CHECKPOINT" not in to_source(program)
+
+    def test_do_while_checkpoint_placement(self):
+        program = parse_and_analyze(
+            "int main() { int i = 0; do { i++; } while (i < 2); return 0; }"
+        )
+        instrument(program)
+        printed = to_source(program)
+        assert printed.index("CHECKPOINT(10)") < printed.index("do")

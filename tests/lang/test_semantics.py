@@ -1,0 +1,191 @@
+"""Unit tests for the semantic analyzer."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import SemanticError
+from repro.lang.semantics import parse_and_analyze
+
+
+def analyze(source):
+    return parse_and_analyze(source)
+
+
+def main_stmts(source):
+    return analyze(source).function("main").body.stmts
+
+
+class TestSymbolResolution:
+    def test_local_resolution(self):
+        program = analyze("int main() { int x = 1; return x; }")
+        ret = program.function("main").body.stmts[1]
+        assert ret.expr.symbol is not None
+        assert ret.expr.symbol.name == "x"
+
+    def test_global_resolution(self):
+        program = analyze("int g; int main() { return g; }")
+        ret = program.function("main").body.stmts[0]
+        assert ret.expr.symbol.storage == "global"
+
+    def test_param_resolution(self):
+        program = analyze("int f(int a) { return a; } int main() { return f(1); }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.expr.symbol.storage == "param"
+
+    def test_shadowing(self):
+        program = analyze("int x; int main() { int x = 2; return x; }")
+        ret = program.function("main").body.stmts[1]
+        assert ret.expr.symbol.storage == "local"
+
+    def test_block_scope(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { { int x; } return x; }")
+
+    def test_undeclared(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { return nope; }")
+
+    def test_redefinition_same_scope(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { int x; int x; return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError):
+            analyze("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
+
+    def test_shadowing_builtin_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("int printf(int x) { return x; } int main() { return 0; }")
+
+
+class TestRegisterPromotion:
+    def test_scalar_local_is_register(self):
+        program = analyze("int main() { int x = 1; return x; }")
+        decl = program.function("main").body.stmts[0].decls[0]
+        assert not decl.symbol.in_memory
+
+    def test_array_local_in_memory(self):
+        program = analyze("int main() { int a[4]; return a[0]; }")
+        decl = program.function("main").body.stmts[0].decls[0]
+        assert decl.symbol.in_memory
+
+    def test_struct_local_in_memory(self):
+        program = analyze(
+            "struct p { int x; }; int main() { struct p v; return v.x; }"
+        )
+        decl = program.function("main").body.stmts[0].decls[0]
+        assert decl.symbol.in_memory
+
+    def test_address_taken_forces_memory(self):
+        program = analyze("int main() { int x = 1; int *p = &x; return *p; }")
+        decl = program.function("main").body.stmts[0].decls[0]
+        assert decl.symbol.in_memory
+
+    def test_globals_always_in_memory(self):
+        program = analyze("int g; int main() { return g; }")
+        assert program.globals[0].decls[0].symbol.in_memory
+
+    def test_pointer_local_is_register(self):
+        program = analyze("int g[4]; int main() { int *p = g; return *p; }")
+        decl = program.function("main").body.stmts[0].decls[0]
+        assert not decl.symbol.in_memory
+
+
+class TestTypeChecking:
+    def test_deref_non_pointer(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { int x; return *x; }")
+
+    def test_subscript_non_array(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { int x; return x[0]; }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { int x; return x.f; }")
+
+    def test_arrow_on_non_pointer(self):
+        with pytest.raises(SemanticError):
+            analyze("struct p { int x; }; int main() { struct p v; return v->x; }")
+
+    def test_unknown_member(self):
+        with pytest.raises(SemanticError):
+            analyze("struct p { int x; }; struct p g; int main() { return g.y; }")
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { 1 = 2; return 0; }")
+
+    def test_assign_to_array(self):
+        with pytest.raises(SemanticError):
+            analyze("int a[2]; int b[2]; int main() { a = b; return 0; }")
+
+    def test_call_arity(self):
+        with pytest.raises(SemanticError):
+            analyze("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { return nothere(); }")
+
+    def test_void_variable(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { void x; return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { continue; return 0; }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(SemanticError):
+            analyze("void f() { return 1; } int main() { return 0; }")
+
+    def test_pointer_arithmetic_types(self):
+        program = analyze("int a[4]; int main() { int *p = a + 1; return *p; }")
+        decl = program.function("main").body.stmts[0].decls[0]
+        assert decl.init.ctype.is_pointer
+
+    def test_pointer_difference_is_int(self):
+        program = analyze(
+            "int a[4]; int main() { return (int)(&a[3] - &a[0]); }"
+        )
+        assert program is not None
+
+    def test_invalid_pointer_multiplication(self):
+        with pytest.raises(SemanticError):
+            analyze("int a[4]; int main() { return (int)(a * 2); }")
+
+    def test_modulo_requires_integers(self):
+        with pytest.raises(SemanticError):
+            analyze("int main() { return (int)(1.5 % 2); }")
+
+    def test_builtin_call_typed(self):
+        program = analyze('int main() { printf("x"); return 0; }')
+        call = program.function("main").body.stmts[0].expr
+        assert call.is_builtin
+
+
+class TestNodeIds:
+    def test_all_nodes_have_unique_ids(self):
+        program = analyze("int g[4]; int main() { int i; for (i=0;i<4;i++) g[i]=i; return 0; }")
+        ids = [n.node_id for n in ast.walk(program) if isinstance(n, ast.Node)]
+        assert len(ids) == len(set(ids))
+        assert all(node_id >= 0 for node_id in ids)
+
+    def test_ids_deterministic(self):
+        source = "int g[4]; int main() { g[0] = 1; return g[0]; }"
+        first = analyze(source)
+        second = analyze(source)
+        first_ids = [n.node_id for n in ast.walk(first) if isinstance(n, ast.Node)]
+        second_ids = [n.node_id for n in ast.walk(second) if isinstance(n, ast.Node)]
+        assert first_ids == second_ids
+
+    def test_expression_types_annotated(self):
+        program = analyze("int main() { return 1 + 2; }")
+        expr = program.function("main").body.stmts[0].expr
+        assert expr.ctype is not None
+        assert str(expr.ctype) == "int"

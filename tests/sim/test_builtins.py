@@ -1,0 +1,176 @@
+"""Unit tests for the builtin library ("system library")."""
+
+import pytest
+
+from repro.sim.machine import run_and_trace
+from repro.sim.trace import LIB_PC_BASE, is_library_pc
+
+
+def run(source):
+    return run_and_trace(source)
+
+
+def lib_accesses(collector):
+    return [a for a in collector.accesses() if a.is_library]
+
+
+class TestPrintf:
+    def test_basic_formats(self):
+        result, _, _ = run(
+            'int main() { printf("%d %c %s %x", -5, 65, "ok", 255); return 0; }'
+        )
+        assert result.stdout == "-5 A ok ff"
+
+    def test_float_format(self):
+        result, _, _ = run('int main() { printf("%f", 1.5); return 0; }')
+        assert result.stdout.startswith("1.5")
+
+    def test_width_format(self):
+        result, _, _ = run('int main() { printf("%04d", 7); return 0; }')
+        assert result.stdout == "0007"
+
+    def test_percent_escape(self):
+        result, _, _ = run('int main() { printf("100%%"); return 0; }')
+        assert result.stdout == "100%"
+
+    def test_unsigned_format(self):
+        result, _, _ = run('int main() { printf("%u", -1); return 0; }')
+        assert result.stdout == str(2**32 - 1)
+
+    def test_format_string_reads_are_library_traffic(self):
+        _, collector, _ = run('int main() { printf("abc"); return 0; }')
+        accesses = lib_accesses(collector)
+        assert len(accesses) == 4  # 'a' 'b' 'c' NUL
+        assert all(not a.is_write for a in accesses)
+
+    def test_puts_appends_newline(self):
+        result, _, _ = run('int main() { puts("hi"); return 0; }')
+        assert result.stdout == "hi\n"
+
+    def test_putchar(self):
+        result, _, _ = run("int main() { putchar(88); return 0; }")
+        assert result.stdout == "X"
+
+
+class TestMemoryBuiltins:
+    def test_memset(self):
+        result, _, _ = run(
+            "char b[8]; int main() { memset(b, 7, 8); return b[0] + b[7]; }"
+        )
+        assert result.exit_code == 14
+
+    def test_memcpy(self):
+        result, _, _ = run(
+            "int a[4] = {1,2,3,4}; int b[4];"
+            "int main() { memcpy(b, a, 16); return b[3]; }"
+        )
+        assert result.exit_code == 4
+
+    def test_memcpy_traffic_is_library_tagged(self):
+        _, collector, _ = run(
+            "int a[8]; int b[8]; int main() { memcpy(b, a, 32); return 0; }"
+        )
+        accesses = lib_accesses(collector)
+        assert len(accesses) == 16  # 8 word loads + 8 word stores
+        assert all(a.pc >= LIB_PC_BASE for a in accesses)
+
+    def test_calloc_zeroes(self):
+        result, _, _ = run(
+            "int main() { int *p = (int*)calloc(4, 4); return p[3]; }"
+        )
+        assert result.exit_code == 0
+
+    def test_malloc_regions_disjoint(self):
+        result, _, _ = run(
+            "int main() { char *a = (char*)malloc(16); char *b = (char*)malloc(16);"
+            " *a = 1; *b = 2; return *a + *b; }"
+        )
+        assert result.exit_code == 3
+
+    def test_strlen(self):
+        result, _, _ = run('int main() { return strlen("hello"); }')
+        assert result.exit_code == 5
+
+    def test_strcpy(self):
+        result, _, _ = run(
+            'char d[8]; int main() { strcpy(d, "ab"); return d[0] + d[2]; }'
+        )
+        assert result.exit_code == ord("a")
+
+    def test_strcmp(self):
+        result, _, _ = run('int main() { return strcmp("abc", "abd"); }')
+        assert result.exit_code == -1
+
+
+class TestMathBuiltins:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("sqrt(16.0)", 4),
+            ("fabs(-2.5) * 2.0", 5),
+            ("pow(2.0, 10.0)", 1024),
+            ("floor(3.7)", 3),
+            ("ceil(3.2)", 4),
+            ("cos(0.0)", 1),
+            ("exp(0.0)", 1),
+        ],
+    )
+    def test_values(self, expr, expected):
+        result, _, _ = run(f"int main() {{ return (int)({expr}); }}")
+        assert result.exit_code == expected
+
+    def test_math_reads_coefficient_tables(self):
+        # Real libm reads polynomial tables; our model reproduces that as
+        # library loads (the paper's fft system-call traffic).
+        _, collector, _ = run("int main() { double d = sin(1.0); return 0; }")
+        accesses = lib_accesses(collector)
+        assert len(accesses) == 10
+        assert all(not a.is_write for a in accesses)
+
+    def test_abs(self):
+        result, _, _ = run("int main() { return abs(-7) + labs(-3); }")
+        assert result.exit_code == 10
+
+
+class TestRandAndInput:
+    def test_rand_deterministic(self):
+        source = "int main() { srand(1); return rand() % 1000; }"
+        first, _, _ = run(source)
+        second, _, _ = run(source)
+        assert first.exit_code == second.exit_code
+
+    def test_srand_changes_sequence(self):
+        one, _, _ = run("int main() { srand(1); return rand() % 1000; }")
+        two, _, _ = run("int main() { srand(999); return rand() % 1000; }")
+        assert one.exit_code != two.exit_code
+
+    def test_read_samples_fills_buffer(self):
+        result, _, _ = run(
+            "int b[64]; int main() { int i; int nonzero = 0;"
+            " read_samples(b, 64);"
+            " for (i = 0; i < 64; i++) if (b[i] != 0) nonzero++;"
+            " return nonzero > 32; }"
+        )
+        assert result.exit_code == 1
+
+    def test_read_samples_traffic_is_library(self):
+        _, collector, _ = run(
+            "int b[16]; int main() { read_samples(b, 16); return 0; }"
+        )
+        writes = [a for a in lib_accesses(collector) if a.is_write]
+        assert len(writes) == 16
+
+    def test_read_samples_values_bounded(self):
+        result, _, _ = run(
+            "int b[128]; int main() { int i; read_samples(b, 128);"
+            " for (i = 0; i < 128; i++)"
+            "   if (b[i] < -512 || b[i] > 511) return 1;"
+            " return 0; }"
+        )
+        assert result.exit_code == 0
+
+    def test_read_samples_deterministic_across_runs(self):
+        source = "int b[8]; int main() { read_samples(b, 8); return b[5] & 255; }"
+        first, _, _ = run(source)
+        second, _, _ = run(source)
+        assert first.exit_code == second.exit_code

@@ -1,0 +1,126 @@
+"""Tests for checkpoint instrumentation and emitted checkpoint streams."""
+
+from repro.instrument.checkpoints import FIRST_CHECKPOINT_ID, instrument
+from repro.lang import ast_nodes as ast
+from repro.lang.semantics import parse_and_analyze
+from repro.sim.machine import run_and_trace
+from repro.sim.trace import Checkpoint, CheckpointKind
+
+
+def checkpoint_kinds(collector):
+    return [(r.checkpoint_id, r.kind) for r in collector.records
+            if isinstance(r, Checkpoint)]
+
+
+class TestAnnotation:
+    def test_every_loop_gets_three_ids(self):
+        program = parse_and_analyze(
+            "int main() { int i, j; for (i=0;i<2;i++) while (j<2) j++;"
+            " do { i++; } while (i < 4); return 0; }"
+        )
+        cmap = instrument(program)
+        loops = [n for n in ast.walk(program) if isinstance(n, ast.Loop)]
+        assert len(loops) == 3
+        assert all(lp.is_instrumented for lp in loops)
+        assert len(cmap) == 9
+
+    def test_ids_are_unique_and_sequential(self):
+        program = parse_and_analyze(
+            "int main() { int i, j; for (i=0;i<2;i++) for (j=0;j<2;j++) ; return 0; }"
+        )
+        cmap = instrument(program)
+        ids = sorted(cmap.infos)
+        assert ids == list(range(FIRST_CHECKPOINT_ID, FIRST_CHECKPOINT_ID + 6))
+
+    def test_map_kind_metadata(self):
+        program = parse_and_analyze(
+            "int main() { int i; while (i < 2) i++; return 0; }"
+        )
+        cmap = instrument(program)
+        kinds = {info.kind for info in cmap.infos.values()}
+        assert kinds == {
+            CheckpointKind.LOOP_BEGIN,
+            CheckpointKind.BODY_BEGIN,
+            CheckpointKind.BODY_END,
+        }
+        assert all(info.loop_kind == "while" for info in cmap.infos.values())
+
+    def test_double_instrumentation_rejected(self):
+        program = parse_and_analyze(
+            "int main() { int i; while (i < 2) i++; return 0; }"
+        )
+        instrument(program)
+        try:
+            instrument(program)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestEmittedCheckpointStream:
+    def test_for_loop_stream(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int i; for (i = 0; i < 2; i++) { } return 0; }"
+        )
+        assert checkpoint_kinds(collector) == [
+            (10, CheckpointKind.LOOP_BEGIN),
+            (11, CheckpointKind.BODY_BEGIN),
+            (12, CheckpointKind.BODY_END),
+            (11, CheckpointKind.BODY_BEGIN),
+            (12, CheckpointKind.BODY_END),
+        ]
+
+    def test_zero_iteration_loop_emits_only_begin(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int i; for (i = 0; i < 0; i++) { } return 0; }"
+        )
+        assert checkpoint_kinds(collector) == [(10, CheckpointKind.LOOP_BEGIN)]
+
+    def test_do_while_body_first(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int i = 0; do { i++; } while (i < 2); return 0; }"
+        )
+        kinds = checkpoint_kinds(collector)
+        assert kinds[0] == (10, CheckpointKind.LOOP_BEGIN)
+        assert kinds.count((11, CheckpointKind.BODY_BEGIN)) == 2
+
+    def test_break_still_closes_body(self):
+        # The body-end checkpoint sits in a cleanup position, so even a
+        # broken-out iteration closes its body and the stream stays
+        # well-nested.
+        _, collector, _ = run_and_trace(
+            "int main() { int i; for (i = 0; i < 10; i++) { if (i == 1) break; }"
+            " return 0; }"
+        )
+        kinds = checkpoint_kinds(collector)
+        assert kinds.count((11, CheckpointKind.BODY_BEGIN)) == 2
+        assert kinds.count((12, CheckpointKind.BODY_END)) == 2
+
+    def test_continue_still_closes_body(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int i; for (i = 0; i < 3; i++) { if (i == 1) continue; }"
+            " return 0; }"
+        )
+        kinds = checkpoint_kinds(collector)
+        assert kinds.count((11, CheckpointKind.BODY_BEGIN)) == 3
+        assert kinds.count((12, CheckpointKind.BODY_END)) == 3
+
+    def test_return_inside_loop_closes_bodies(self):
+        _, collector, _ = run_and_trace(
+            "int f() { int i, j; for (i = 0; i < 4; i++)"
+            " for (j = 0; j < 4; j++) if (i + j == 2) return 1; return 0; }"
+            "int main() { return f(); }"
+        )
+        kinds = checkpoint_kinds(collector)
+        begins = sum(1 for _, k in kinds if k is CheckpointKind.BODY_BEGIN)
+        ends = sum(1 for _, k in kinds if k is CheckpointKind.BODY_END)
+        assert begins == ends
+
+    def test_loop_in_function_emits_per_call(self):
+        _, collector, _ = run_and_trace(
+            "void f() { int i; for (i = 0; i < 1; i++) { } }"
+            "int main() { f(); f(); return 0; }"
+        )
+        kinds = checkpoint_kinds(collector)
+        assert kinds.count((10, CheckpointKind.LOOP_BEGIN)) == 2

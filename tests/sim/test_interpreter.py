@@ -1,0 +1,382 @@
+"""Unit tests for the MiniC interpreter (the simulated CPU)."""
+
+import pytest
+
+from repro.lang.errors import MiniCRuntimeError
+from repro.sim.interpreter import ExecLimitExceeded
+from repro.sim.machine import compile_program, run_and_trace, run_compiled
+from repro.sim.trace import USER_PC_BASE, Access
+
+
+def run_main(body: str, prelude: str = "") -> int:
+    """Execute a program whose main returns the checked value."""
+    compiled = compile_program(f"{prelude}\nint main() {{ {body} }}")
+    return run_compiled(compiled).exit_code
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("10 / 3", 3),
+            ("-10 / 3", -3),   # C truncates toward zero
+            ("10 % 3", 1),
+            ("-10 % 3", -1),   # sign follows the dividend
+            ("10 % -3", 1),
+            ("1 << 5", 32),
+            ("-8 >> 1", -4),
+            ("5 & 3", 1),
+            ("5 | 2", 7),
+            ("5 ^ 1", 4),
+            ("~0", -1),
+            ("!5", 0),
+            ("!0", 1),
+            ("7 > 3", 1),
+            ("3 >= 4", 0),
+            ("2 == 2", 1),
+            ("2 != 2", 0),
+            ("1 ? 10 : 20", 10),
+            ("0 ? 10 : 20", 20),
+        ],
+    )
+    def test_int_expressions(self, expr, expected):
+        assert run_main(f"return {expr};") == expected
+
+    def test_int_overflow_wraps(self):
+        assert run_main("int x = 2147483647; x = x + 1; return x < 0;") == 1
+
+    def test_char_wraps(self):
+        assert run_main("char c = 127; c = c + 1; return c;") == -128
+
+    def test_unsigned_comparison(self):
+        assert run_main(
+            "unsigned int u = 0; u = u - 1; return u > 1000;"
+        ) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(MiniCRuntimeError):
+            run_main("int z = 0; return 1 / z;")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(MiniCRuntimeError):
+            run_main("int z = 0; return 1 % z;")
+
+    def test_float_arithmetic(self):
+        assert run_main("double d = 1.5; d = d * 4.0; return (int)d;") == 6
+
+    def test_float_truncation_toward_zero(self):
+        assert run_main("double d = -2.9; return (int)d;") == -2
+
+    def test_int_to_float_division(self):
+        assert run_main("double d = 7; d = d / 2.0; return (int)(d * 10.0);") == 35
+
+    def test_short_circuit_and(self):
+        # The right operand must not run (it would divide by zero).
+        assert run_main("int z = 0; return 0 && (1 / z);") == 0
+
+    def test_short_circuit_or(self):
+        assert run_main("int z = 0; return 1 || (1 / z);") == 1
+
+
+class TestVariablesAndControlFlow:
+    def test_increment_semantics(self):
+        assert run_main("int i = 5; int a = i++; return a * 100 + i;") == 506
+
+    def test_pre_increment(self):
+        assert run_main("int i = 5; int a = ++i; return a * 100 + i;") == 606
+
+    def test_compound_assignment(self):
+        assert run_main("int x = 10; x -= 3; x *= 2; x /= 7; return x;") == 2
+
+    def test_for_loop_sum(self):
+        assert run_main(
+            "int s = 0; int i; for (i = 1; i <= 10; i++) s += i; return s;"
+        ) == 55
+
+    def test_while_loop(self):
+        assert run_main("int n = 0; while (n < 7) n++; return n;") == 7
+
+    def test_do_while_runs_once(self):
+        assert run_main("int n = 10; do { n++; } while (n < 5); return n;") == 11
+
+    def test_break(self):
+        assert run_main(
+            "int i; int s = 0; for (i = 0; i < 100; i++) { if (i == 5) break; s++; }"
+            " return s;"
+        ) == 5
+
+    def test_continue(self):
+        assert run_main(
+            "int i; int s = 0; for (i = 0; i < 10; i++) { if (i % 2) continue; s++; }"
+            " return s;"
+        ) == 5
+
+    def test_nested_loop_break_inner_only(self):
+        assert run_main(
+            "int i, j, c = 0;"
+            "for (i = 0; i < 3; i++) for (j = 0; j < 10; j++) { if (j == 2) break; c++; }"
+            "return c;"
+        ) == 6
+
+    def test_if_else_chain(self):
+        assert run_main(
+            "int x = 15; if (x < 10) return 1; else if (x < 20) return 2; else return 3;"
+        ) == 2
+
+    def test_uninitialized_local_is_zero(self):
+        assert run_main("int x; return x;") == 0
+
+    def test_exec_limit(self):
+        compiled = compile_program("int main() { while (1) {} return 0; }")
+        with pytest.raises(ExecLimitExceeded):
+            run_compiled(compiled, max_steps=10_000)
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        assert run_main("return add(2, 3);",
+                        "int add(int a, int b) { return a + b; }") == 5
+
+    def test_recursion(self):
+        assert run_main("return fib(10);",
+                        "int fib(int n) { if (n < 2) return n;"
+                        " return fib(n-1) + fib(n-2); }") == 55
+
+    def test_missing_return_yields_zero(self):
+        assert run_main("return f();", "int f() { }") == 0
+
+    def test_void_function(self):
+        assert run_main("g(); return gv;",
+                        "int gv; void g() { gv = 9; }") == 9
+
+    def test_recursion_depth_limit(self):
+        compiled = compile_program(
+            "int f(int n) { return f(n + 1); } int main() { return f(0); }"
+        )
+        with pytest.raises(MiniCRuntimeError):
+            run_compiled(compiled)
+
+    def test_locals_fresh_per_call(self):
+        assert run_main(
+            "return f() + f();",
+            "int f() { int a[2]; a[0] = a[0] + 1; return a[0]; }",
+        ) == 2  # a[] is zero-initialized per activation
+
+    def test_exit_builtin(self):
+        assert run_main("exit(42); return 0;") == 42
+
+
+class TestPointersAndArrays:
+    def test_array_store_load(self):
+        assert run_main("int a[4]; a[2] = 7; return a[2];") == 7
+
+    def test_pointer_walk(self):
+        assert run_main(
+            "int a[4]; int *p = a; *p++ = 1; *p++ = 2; return a[0] * 10 + a[1];"
+        ) == 12
+
+    def test_pointer_arith_scaling(self):
+        assert run_main("int a[4]; a[3] = 9; int *p = a; return *(p + 3);") == 9
+
+    def test_pointer_difference(self):
+        assert run_main("int a[10]; return (int)(&a[7] - &a[2]);") == 5
+
+    def test_address_of_scalar(self):
+        assert run_main("int x = 3; int *p = &x; *p = 8; return x;") == 8
+
+    def test_2d_array(self):
+        assert run_main(
+            "int m[3][4]; int i, j;"
+            "for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) m[i][j] = 10*i + j;"
+            "return m[2][3];"
+        ) == 23
+
+    def test_2d_row_major_layout(self):
+        assert run_main(
+            "int m[2][3]; m[1][0] = 42; int *flat = &m[0][0]; return flat[3];"
+        ) == 42
+
+    def test_array_decay_to_param(self):
+        assert run_main(
+            "int a[3]; a[1] = 5; return get(a, 1);",
+            "int get(int *p, int i) { return p[i]; }",
+        ) == 5
+
+    def test_global_array_init_list(self):
+        assert run_main("return t[0] + t[2];", "int t[3] = {10, 20, 30};") == 40
+
+    def test_partial_init_list_zero_fills(self):
+        assert run_main("return t[3];", "int t[4] = {1, 2};") == 0
+
+    def test_local_array_init_list(self):
+        assert run_main("int t[3] = {4, 5, 6}; return t[1];") == 5
+
+    def test_char_array_string_init(self):
+        assert run_main('char s[8] = "abc"; return s[0] + s[3];') == ord("a")
+
+    def test_string_literal_deref(self):
+        assert run_main('char *s = "xy"; return s[1];') == ord("y")
+
+    def test_char_pointer_into_int_array_little_endian(self):
+        assert run_main(
+            "int a[1]; a[0] = 0x01020304; char *p = (char*)a; return *p;"
+        ) == 4
+
+    def test_global_pointer_to_global_array(self):
+        assert run_main("*gp = 11; return g[0];",
+                        "char g[4]; char *gp = g;") == 11
+
+    def test_malloc(self):
+        assert run_main(
+            "int *p = (int*)malloc(8); p[0] = 3; p[1] = 4; return p[0] + p[1];"
+        ) == 7
+
+
+class TestStructs:
+    PRELUDE = "struct point { int x; int y; char tag; };"
+
+    def test_member_access(self):
+        assert run_main(
+            "struct point p; p.x = 3; p.y = 4; return p.x * 10 + p.y;",
+            self.PRELUDE,
+        ) == 34
+
+    def test_arrow_access(self):
+        assert run_main(
+            "struct point p; struct point *q = &p; q->x = 5; return p.x;",
+            self.PRELUDE,
+        ) == 5
+
+    def test_global_struct(self):
+        assert run_main(
+            "g.y = 7; return g.y;", self.PRELUDE + " struct point g;"
+        ) == 7
+
+    def test_struct_array_member(self):
+        assert run_main(
+            "struct box b; b.vals[2] = 6; return b.vals[2];",
+            "struct box { int vals[4]; };",
+        ) == 6
+
+    def test_array_of_structs(self):
+        assert run_main(
+            "struct point a[3]; a[1].x = 8; return a[1].x;", self.PRELUDE
+        ) == 8
+
+    def test_sizeof_struct(self):
+        # int x, int y, char tag -> 4 + 4 + 1, padded to 12.
+        assert run_main("struct point p; return sizeof p;", self.PRELUDE) == 12
+
+
+class TestSizeof:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("sizeof(int)", 4),
+            ("sizeof(char)", 1),
+            ("sizeof(double)", 8),
+            ("sizeof(long)", 8),
+            ("sizeof(int*)", 4),
+        ],
+    )
+    def test_sizeof_types(self, expr, expected):
+        assert run_main(f"return {expr};") == expected
+
+    def test_sizeof_array_expr(self):
+        assert run_main("int a[10]; return sizeof a;") == 40
+
+    def test_sizeof_does_not_evaluate(self):
+        # The deref inside sizeof must not fault or trace.
+        assert run_main("int *p; return sizeof *p;") == 4
+
+
+class TestTraceGeneration:
+    def test_register_locals_silent(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int i, s = 0; for (i = 0; i < 5; i++) s += i; return s; }"
+        )
+        assert collector.accesses() == []
+
+    def test_array_store_traced(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int a[4]; a[1] = 5; return 0; }"
+        )
+        writes = [a for a in collector.accesses() if a.is_write]
+        assert len(writes) == 1
+        assert writes[0].size == 4
+
+    def test_load_and_store_have_distinct_pcs(self):
+        _, collector, _ = run_and_trace(
+            "int g[2]; int main() { g[0] = g[0] + 1; return 0; }"
+        )
+        accesses = collector.accesses()
+        reads = [a.pc for a in accesses if not a.is_write]
+        writes = [a.pc for a in accesses if a.is_write]
+        assert reads and writes
+        assert set(reads).isdisjoint(writes)
+
+    def test_compound_assign_one_load_one_store_same_addr(self):
+        _, collector, _ = run_and_trace(
+            "int g[2]; int main() { g[1] += 3; return 0; }"
+        )
+        accesses = collector.accesses()
+        assert len(accesses) == 2
+        assert accesses[0].addr == accesses[1].addr
+        assert not accesses[0].is_write and accesses[1].is_write
+
+    def test_global_scalar_traffic_traced(self):
+        _, collector, _ = run_and_trace(
+            "int g; int main() { g = 1; g = g + 1; return 0; }"
+        )
+        assert len(collector.accesses()) == 3  # store, load, store
+
+    def test_stack_addresses_near_top(self):
+        _, collector, _ = run_and_trace(
+            "int main() { char q[100]; q[0] = 1; return 0; }"
+        )
+        (access,) = collector.accesses()
+        assert 0x7FF00000 < access.addr < 0x80000000
+
+    def test_user_pcs_in_user_range(self):
+        _, collector, _ = run_and_trace(
+            "int g[4]; int main() { g[0] = 1; return g[0]; }"
+        )
+        for access in collector.accesses():
+            assert USER_PC_BASE <= access.pc < 0x500000
+
+    def test_same_site_same_pc_across_iterations(self):
+        _, collector, _ = run_and_trace(
+            "int g[8]; int main() { int i; for (i = 0; i < 8; i++) g[i] = i;"
+            " return 0; }"
+        )
+        pcs = {a.pc for a in collector.accesses() if a.is_write}
+        assert len(pcs) == 1
+
+    def test_global_initializers_not_traced(self):
+        _, collector, _ = run_and_trace(
+            "int t[4] = {1, 2, 3, 4}; int main() { return 0; }"
+        )
+        assert collector.accesses() == []
+
+    def test_local_array_init_traced(self):
+        _, collector, _ = run_and_trace(
+            "int main() { int t[2] = {7, 8}; return 0; }"
+        )
+        writes = [a for a in collector.accesses() if a.is_write]
+        assert len(writes) == 2
+
+    def test_stdout_capture(self):
+        result, _, _ = run_and_trace(
+            'int main() { printf("v=%d!", 42); return 0; }'
+        )
+        assert result.stdout == "v=42!"
+
+    def test_deterministic_trace(self):
+        source = (
+            "int g[16]; int main() { int i; srand(7);"
+            " for (i = 0; i < 16; i++) g[i] = rand() % 100; return 0; }"
+        )
+        _, first, _ = run_and_trace(source)
+        _, second, _ = run_and_trace(source)
+        assert first.records == second.records

@@ -1,0 +1,140 @@
+"""Unit tests for trace records, the text format, and pc helpers."""
+
+import io
+
+import pytest
+
+from repro.sim.trace import (
+    LIB_PC_BASE,
+    USER_PC_BASE,
+    Access,
+    Checkpoint,
+    CheckpointInfo,
+    CheckpointKind,
+    CheckpointMap,
+    TraceCollector,
+    TraceWriter,
+    format_trace,
+    is_library_pc,
+    load_pc,
+    node_id_of_pc,
+    parse_trace,
+    pc_is_store,
+    store_pc,
+)
+
+
+def small_map():
+    cmap = CheckpointMap()
+    cmap.add(CheckpointInfo(10, CheckpointKind.LOOP_BEGIN, 100, "while"))
+    cmap.add(CheckpointInfo(11, CheckpointKind.BODY_BEGIN, 100, "while"))
+    cmap.add(CheckpointInfo(12, CheckpointKind.BODY_END, 100, "while"))
+    return cmap
+
+
+class TestPcHelpers:
+    def test_load_store_distinct(self):
+        assert load_pc(7) != store_pc(7)
+
+    def test_node_id_roundtrip(self):
+        assert node_id_of_pc(load_pc(123)) == 123
+        assert node_id_of_pc(store_pc(123)) == 123
+
+    def test_store_detection(self):
+        assert pc_is_store(store_pc(9))
+        assert not pc_is_store(load_pc(9))
+
+    def test_library_range(self):
+        assert is_library_pc(LIB_PC_BASE)
+        assert is_library_pc(LIB_PC_BASE + 40)
+        assert not is_library_pc(USER_PC_BASE)
+
+    def test_node_id_of_library_pc_rejected(self):
+        with pytest.raises(ValueError):
+            node_id_of_pc(LIB_PC_BASE + 8)
+
+
+class TestTextFormat:
+    def test_paper_format(self):
+        records = [
+            Checkpoint(12, CheckpointKind.LOOP_BEGIN),
+            Access(0x4002A0, 0x7FFF5934, 1, True),
+            Access(0x4002A0, 0x7FFF5935, 1, False),
+        ]
+        text = format_trace(records)
+        assert text.splitlines() == [
+            "Checkpoint: 12",
+            "Instr: 4002a0 addr: 7fff5934 wr",
+            "Instr: 4002a0 addr: 7fff5935 rd",
+        ]
+
+    def test_parse_roundtrip(self):
+        cmap = small_map()
+        records = [
+            Checkpoint(10, CheckpointKind.LOOP_BEGIN),
+            Checkpoint(11, CheckpointKind.BODY_BEGIN),
+            Access(0x400100, 0x10000000, 4, True),
+            Checkpoint(12, CheckpointKind.BODY_END),
+        ]
+        text = format_trace(records)
+        parsed = list(parse_trace(text, cmap))
+        assert [type(r) for r in parsed] == [type(r) for r in records]
+        assert parsed[0].kind is CheckpointKind.LOOP_BEGIN
+        assert parsed[2].pc == 0x400100
+        assert parsed[2].addr == 0x10000000
+        assert parsed[2].is_write
+
+    def test_parse_skips_blank_lines(self):
+        parsed = list(parse_trace("\nCheckpoint: 10\n\n", small_map()))
+        assert len(parsed) == 1
+
+    def test_parse_malformed_line(self):
+        with pytest.raises(ValueError):
+            list(parse_trace("garbage", small_map()))
+
+    def test_parse_malformed_access(self):
+        with pytest.raises(ValueError):
+            list(parse_trace("Instr: 400100 7fff0000 wr", small_map()))
+
+    def test_writer_streams(self):
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer)
+        writer.emit(Access(0x400000, 0x1000, 4, False))
+        assert buffer.getvalue() == "Instr: 400000 addr: 1000 rd\n"
+
+
+class TestCheckpointMap:
+    def test_kind_lookup(self):
+        cmap = small_map()
+        assert cmap.kind_of(11) is CheckpointKind.BODY_BEGIN
+
+    def test_begin_id_mapping(self):
+        cmap = small_map()
+        assert cmap.begin_id_for(10) == 10
+        assert cmap.begin_id_for(11) == 10
+        assert cmap.begin_id_for(12) == 10
+        assert cmap.begin_id_for(99) is None
+
+    def test_duplicate_id_rejected(self):
+        cmap = small_map()
+        with pytest.raises(ValueError):
+            cmap.add(CheckpointInfo(10, CheckpointKind.LOOP_BEGIN, 200, "for"))
+
+    def test_loops(self):
+        assert small_map().loops() == {100}
+
+    def test_contains_len(self):
+        cmap = small_map()
+        assert 10 in cmap
+        assert 42 not in cmap
+        assert len(cmap) == 3
+
+
+class TestCollector:
+    def test_collects_and_partitions(self):
+        collector = TraceCollector()
+        collector.emit(Checkpoint(10, CheckpointKind.LOOP_BEGIN))
+        collector.emit(Access(0x400000, 0x1000, 4, True))
+        assert len(collector) == 2
+        assert len(collector.accesses()) == 1
+        assert len(collector.checkpoints()) == 1

@@ -1,0 +1,112 @@
+"""Unit tests for the SPM buffer allocator (multiple-choice knapsack)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.foray.model import AffineExpression, ForayReference
+from repro.spm.allocator import allocate
+from repro.spm.candidates import BufferCandidate
+from repro.spm.reuse import ReuseLevel
+
+
+def make_candidate(ref_key, size_bytes, benefit, level=1):
+    reference = ForayReference(
+        pc=0x400000 + 8 * ref_key,
+        loop_path=(),
+        expression=AffineExpression(0, (4,), 1),
+        exec_count=100,
+        footprint=size_bytes // 4,
+        reads=100,
+        writes=0,
+    )
+    reuse = ReuseLevel(level, size_bytes // 4, 1, 100.0, 1.0, False)
+    return BufferCandidate(reference, reuse, size_bytes, benefit)
+
+
+def brute_force(candidates, capacity):
+    """Optimal benefit by exhaustive search (<= 1 candidate per ref)."""
+    groups = {}
+    for candidate in candidates:
+        groups.setdefault(id(candidate.reference), []).append(candidate)
+    best = 0.0
+    group_lists = [[None, *options] for options in groups.values()]
+    for combo in itertools.product(*group_lists):
+        chosen = [c for c in combo if c is not None]
+        if sum(c.size_bytes for c in chosen) <= capacity:
+            best = max(best, sum(c.benefit_nj for c in chosen))
+    return best
+
+
+class TestAllocator:
+    def test_fits_all_when_capacity_ample(self):
+        candidates = [make_candidate(i, 100, 50.0) for i in range(4)]
+        allocation = allocate(candidates, 4096)
+        assert allocation.buffer_count == 4
+        assert allocation.total_benefit_nj == 200.0
+
+    def test_respects_capacity(self):
+        candidates = [make_candidate(i, 1000, 10.0) for i in range(4)]
+        allocation = allocate(candidates, 2048)
+        assert allocation.used_bytes <= 2048
+        assert allocation.buffer_count == 2
+
+    def test_prefers_higher_benefit(self):
+        candidates = [
+            make_candidate(0, 1000, 10.0),
+            make_candidate(1, 1000, 99.0),
+        ]
+        allocation = allocate(candidates, 1024)
+        assert allocation.buffer_count == 1
+        assert allocation.selected[0].benefit_nj == 99.0
+
+    def test_one_level_per_reference(self):
+        base = make_candidate(0, 400, 10.0)
+        alt = BufferCandidate(base.reference,
+                              ReuseLevel(2, 200, 1, 100.0, 2.0, False),
+                              800, 25.0)
+        allocation = allocate([base, alt], 4096)
+        assert allocation.buffer_count == 1
+        assert allocation.selected[0].benefit_nj == 25.0
+
+    def test_knapsack_tradeoff(self):
+        # One big buffer (60) vs two small (40 + 35 = 75): DP must pick
+        # the pair.
+        candidates = [
+            make_candidate(0, 1000, 60.0),
+            make_candidate(1, 500, 40.0),
+            make_candidate(2, 500, 35.0),
+        ]
+        allocation = allocate(candidates, 1000)
+        assert allocation.total_benefit_nj == 75.0
+
+    def test_zero_capacity(self):
+        allocation = allocate([make_candidate(0, 100, 10.0)], 0)
+        assert allocation.buffer_count == 0
+        assert allocation.total_benefit_nj == 0.0
+
+    def test_oversized_candidate_skipped(self):
+        allocation = allocate([make_candidate(0, 10_000, 99.0)], 1024)
+        assert allocation.buffer_count == 0
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=100).map(lambda g: 4 * g),
+            min_size=1, max_size=5,
+        ),
+        benefits=st.lists(st.floats(min_value=1, max_value=100),
+                          min_size=5, max_size=5),
+        capacity=st.integers(min_value=0, max_value=200).map(lambda g: 4 * g),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, sizes, benefits, capacity):
+        # Sizes and capacity are granule-aligned, so the DP is exact.
+        candidates = [
+            make_candidate(i, size, round(benefit, 2))
+            for i, (size, benefit) in enumerate(zip(sizes, benefits))
+        ]
+        allocation = allocate(candidates, capacity)
+        expected = brute_force(candidates, capacity)
+        assert abs(allocation.total_benefit_nj - expected) < 1e-6
+        assert allocation.used_bytes <= capacity

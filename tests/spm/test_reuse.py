@@ -1,0 +1,124 @@
+"""Unit tests for the DRDU-style reuse analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.foray.model import AffineExpression, ForayLoop, ForayReference
+from repro.spm.reuse import inner_footprint, reuse_levels
+
+
+def make_loop(begin_id, trip, entries=1, uid=None):
+    return ForayLoop(
+        begin_id=begin_id, kind="for", depth=1, max_trip=trip, min_trip=trip,
+        entries=entries, total_iterations=trip * entries,
+        uid=uid if uid is not None else begin_id,
+    )
+
+
+def make_ref(coefficients, trips, entries=None, exec_count=None, writes=0):
+    """Build a reference with loops outer->inner and coeffs inner-first."""
+    entries = entries or [1] * len(trips)
+    loops = tuple(
+        make_loop(10 + 3 * i, trip, entry, uid=50 + i)
+        for i, (trip, entry) in enumerate(zip(trips, entries))
+    )
+    total = exec_count
+    if total is None:
+        total = 1
+        for trip in trips:
+            total *= trip
+    return ForayReference(
+        pc=0x400100,
+        loop_path=loops,
+        expression=AffineExpression(0x1000, tuple(coefficients), len(coefficients)),
+        exec_count=total,
+        footprint=1,
+        reads=total - writes,
+        writes=writes,
+        access_size=4,
+    )
+
+
+class TestInnerFootprint:
+    def test_unit_stride(self):
+        assert inner_footprint((4,), (10,)) == (10, False)
+
+    def test_two_level_dense(self):
+        # c1=4, T1=10; c2=40, T2=5 -> 50 distinct word addresses.
+        assert inner_footprint((4, 40), (10, 5)) == (50, False)
+
+    def test_overlapping_windows(self):
+        # a[i + j] style: i<8, j<8 -> 15 distinct cells.
+        assert inner_footprint((1, 1), (8, 8)) == (15, False)
+
+    def test_zero_coefficient(self):
+        assert inner_footprint((0,), (100,)) == (1, False)
+
+    def test_single_iteration_loops(self):
+        assert inner_footprint((4, 8), (1, 1)) == (1, False)
+
+    def test_estimate_beyond_limit(self):
+        count, approximate = inner_footprint((1, 1000), (1000, 1000))
+        assert approximate
+        assert count >= 1000
+
+    def test_estimate_upper_bound_sane(self):
+        count, _ = inner_footprint((4, 4000), (1000, 1000))
+        # Stride gcd 4 over the reachable span.
+        span = 4 * 999 + 4000 * 999
+        assert count <= span // 4 + 1
+
+    @given(
+        coeffs=st.lists(st.integers(min_value=-16, max_value=16),
+                        min_size=1, max_size=2),
+        trips=st.lists(st.integers(min_value=1, max_value=6),
+                       min_size=1, max_size=2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_matches_brute_force(self, coeffs, trips):
+        size = min(len(coeffs), len(trips))
+        coeffs, trips = tuple(coeffs[:size]), tuple(trips[:size])
+        count, approximate = inner_footprint(coeffs, trips)
+        if not approximate:
+            values = {0}
+            for c, t in zip(coeffs, trips):
+                values = {v + c * x for v in values for x in range(t)}
+            assert count == len(values)
+
+
+class TestReuseLevels:
+    def test_levels_per_split(self):
+        ref = make_ref((4, 0), trips=(5, 10), entries=[1, 5])
+        levels = reuse_levels(ref)
+        assert [lv.level for lv in levels] == [1, 2]
+
+    def test_reuse_detected_for_zero_outer_coefficient(self):
+        # Same 10-element window re-read 5 times: level-1 reuse factor 1,
+        # level-2 footprint still 10 -> reuse factor 5.
+        ref = make_ref((4, 0), trips=(5, 10), entries=[1, 5])
+        levels = reuse_levels(ref)
+        assert levels[1].footprint_words == 10
+        assert levels[1].reuse_factor == 5.0
+
+    def test_no_reuse_for_disjoint_rows(self):
+        ref = make_ref((4, 40), trips=(5, 10), entries=[1, 5])
+        levels = reuse_levels(ref)
+        assert levels[1].footprint_words == 50
+        assert levels[1].reuse_factor == 1.0
+
+    def test_fills_follow_entries(self):
+        ref = make_ref((4,), trips=(8,), entries=[12])
+        (level,) = reuse_levels(ref)
+        assert level.fills == 12
+
+    def test_partial_reference_uses_effective_loops_only(self):
+        # 3-deep nest but M=1: only the innermost loop is analyzable.
+        loops = tuple(make_loop(10 + 3 * i, t, uid=60 + i)
+                      for i, t in enumerate((4, 5, 6)))
+        ref = ForayReference(
+            pc=0x400100, loop_path=loops,
+            expression=AffineExpression(0, (4, 0, 0), 1),
+            exec_count=120, footprint=6, reads=120, writes=0, access_size=4,
+        )
+        levels = reuse_levels(ref)
+        assert len(levels) == 1

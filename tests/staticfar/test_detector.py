@@ -1,0 +1,263 @@
+"""Unit tests for the static FORAY-form baseline."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.semantics import parse_and_analyze
+from repro.staticfar.detector import affine_terms, detect
+
+
+def analyze(source):
+    program = parse_and_analyze(source)
+    return program, detect(program)
+
+
+def loops_of(program):
+    return [n for n in ast.walk(program) if isinstance(n, ast.Loop)]
+
+
+class TestCanonicalLoops:
+    def test_basic_canonical(self):
+        program, result = analyze(
+            "int main() { int i; for (i = 0; i < 10; i++) { } return 0; }"
+        )
+        (loop,) = loops_of(program)
+        info = result.canonical_loops[loop.node_id]
+        assert (info.start, info.bound, info.step) == (0, 10, 1)
+        assert info.trip_count == 10
+
+    def test_decl_init_canonical(self):
+        program, result = analyze(
+            "int main() { for (int i = 0; i < 5; i++) { } return 0; }"
+        )
+        assert len(result.canonical_loops) == 1
+
+    def test_downward_canonical(self):
+        program, result = analyze(
+            "int main() { int i; for (i = 40; i > 37; i--) { } return 0; }"
+        )
+        (info,) = result.canonical_loops.values()
+        assert info.trip_count == 3
+
+    def test_le_and_ge_bounds(self):
+        program, result = analyze(
+            "int main() { int i, j; for (i = 1; i <= 10; i++) { }"
+            " for (j = 10; j >= 1; j--) { } return 0; }"
+        )
+        trips = sorted(info.trip_count for info in result.canonical_loops.values())
+        assert trips == [10, 10]
+
+    def test_step_amount(self):
+        program, result = analyze(
+            "int main() { int i; for (i = 0; i < 10; i += 3) { } return 0; }"
+        )
+        (info,) = result.canonical_loops.values()
+        assert info.step == 3
+        assert info.trip_count == 4
+
+    def test_i_equals_i_plus_const_step(self):
+        program, result = analyze(
+            "int main() { int i; for (i = 0; i < 6; i = i + 2) { } return 0; }"
+        )
+        assert len(result.canonical_loops) == 1
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "for (i = 0; i < n; i++)",        # variable bound
+            "for (i = n; i < 10; i++)",       # variable start
+            "for (i = 0; i < 10; i += n)",    # variable step
+            "for (i = 0; i != 10; i++)",      # unsupported comparison
+            "for (i = 0; i < 10; n++)",       # steps the wrong variable
+            "for (i = 0; ; i++)",             # missing condition
+        ],
+    )
+    def test_non_canonical_headers(self, header):
+        program, result = analyze(
+            f"int main() {{ int i; int n = 10; {header} {{ break; }} return 0; }}"
+        )
+        assert result.canonical_loops == {}
+
+    def test_while_never_canonical(self):
+        program, result = analyze(
+            "int main() { int i = 0; while (i < 10) i++; return 0; }"
+        )
+        assert result.canonical_loops == {}
+        assert len(result.non_canonical_loops) == 1
+
+    def test_do_never_canonical(self):
+        program, result = analyze(
+            "int main() { int i = 0; do { i++; } while (i < 10); return 0; }"
+        )
+        assert len(result.non_canonical_loops) == 1
+
+    def test_iterator_modified_in_body(self):
+        program, result = analyze(
+            "int main() { int i; for (i = 0; i < 10; i++) { i += 1; } return 0; }"
+        )
+        assert result.canonical_loops == {}
+
+    def test_break_disqualifies(self):
+        program, result = analyze(
+            "int main() { int i; for (i = 0; i < 10; i++) { if (i == 3) break; }"
+            " return 0; }"
+        )
+        assert result.canonical_loops == {}
+
+    def test_break_in_nested_loop_does_not_disqualify_outer(self):
+        program, result = analyze(
+            "int main() { int i, j; for (i = 0; i < 10; i++)"
+            " { for (j = 0; j < 10; j++) { if (j) break; } } return 0; }"
+        )
+        outer = loops_of(program)[0]
+        assert outer.node_id in result.canonical_loops
+
+    def test_struct_member_bound_non_canonical(self):
+        program, result = analyze(
+            "struct c { int n; }; struct c cfg;"
+            "int main() { int i; for (i = 0; i < cfg.n; i++) { } return 0; }"
+        )
+        assert result.canonical_loops == {}
+
+    def test_loop_counts(self):
+        program, result = analyze(
+            "int main() { int i, j; for (i = 0; i < 2; i++) { }"
+            " while (j < 2) j++; return 0; }"
+        )
+        assert result.loop_count == 2
+
+
+class TestAffineTerms:
+    def _env(self):
+        program = parse_and_analyze(
+            "int a[100]; int main() { int i, j, n;"
+            " for (i = 0; i < 10; i++) for (j = 0; j < 10; j++) a[i+j] = n;"
+            " return 0; }"
+        )
+        result = detect(program)
+        iterators = {info.iterator for info in result.canonical_loops.values()}
+        symbols = {s.name: s for s in iterators}
+        return program, symbols, iterators
+
+    def _index_expr(self, text):
+        program = parse_and_analyze(
+            "int a[1000]; int main() { int i, j, n;"
+            " for (i = 0; i < 10; i++) for (j = 0; j < 10; j++)"
+            f" a[{text}] = n; return 0; }}"
+        )
+        index_nodes = [n for n in ast.walk(program) if isinstance(n, ast.Index)]
+        result = detect(program)
+        iterators = {info.iterator for info in result.canonical_loops.values()}
+        return index_nodes[0].index, iterators
+
+    @pytest.mark.parametrize(
+        "text,const,by_name",
+        [
+            ("5", 5, {}),
+            ("i", 0, {"i": 1}),
+            ("i + j", 0, {"i": 1, "j": 1}),
+            ("10 * i + j", 0, {"i": 10, "j": 1}),
+            ("j + 10 * i + 7", 7, {"i": 10, "j": 1}),
+            ("i * 4", 0, {"i": 4}),
+            ("-i + 20", 20, {"i": -1}),
+            ("2 * (i + 3)", 6, {"i": 2}),
+            ("i - j", 0, {"i": 1, "j": -1}),
+        ],
+    )
+    def test_affine_decompositions(self, text, const, by_name):
+        expr, iterators = self._index_expr(text)
+        terms = affine_terms(expr, iterators)
+        assert terms is not None
+        assert terms.get(None, 0) == const
+        named = {sym.name: c for sym, c in terms.items()
+                 if sym is not None and c != 0}
+        assert named == by_name
+
+    @pytest.mark.parametrize("text", ["n", "i * j", "i + n", "i * i", "a[0]"])
+    def test_non_affine_rejected(self, text):
+        expr, iterators = self._index_expr(text)
+        assert affine_terms(expr, iterators) is None
+
+
+class TestReferenceClassification:
+    def test_affine_array_ref_analyzable(self):
+        program, result = analyze(
+            "int a[100]; int main() { int i; for (i = 0; i < 10; i++) a[i] = i;"
+            " return 0; }"
+        )
+        assert len(result.analyzable_refs) == 1
+
+    def test_multidim_analyzable(self):
+        program, result = analyze(
+            "int m[10][10]; int main() { int i, j;"
+            " for (i = 0; i < 10; i++) for (j = 0; j < 10; j++) m[i][j] = 0;"
+            " return 0; }"
+        )
+        assert len(result.analyzable_refs) == 1
+
+    def test_pointer_deref_rejected(self):
+        program, result = analyze(
+            "int a[100]; int main() { int i; int *p = a;"
+            " for (i = 0; i < 10; i++) *p++ = i; return 0; }"
+        )
+        assert result.analyzable_refs == set()
+        assert result.rejected_refs
+
+    def test_pointer_param_subscript_rejected(self):
+        program, result = analyze(
+            "void f(int *p) { int i; for (i = 0; i < 10; i++) p[i] = i; }"
+            "int a[100]; int main() { f(a); return 0; }"
+        )
+        assert result.analyzable_refs == set()
+
+    def test_data_dependent_index_rejected(self):
+        program, result = analyze(
+            "int a[100]; int t[100]; int main() { int i;"
+            " for (i = 0; i < 10; i++) a[t[i]] = i; return 0; }"
+        )
+        # t[i] is analyzable; a[t[i]] is not.
+        assert len(result.analyzable_refs) == 1
+        assert len(result.rejected_refs) == 1
+
+    def test_ref_under_if_rejected(self):
+        program, result = analyze(
+            "int a[100]; int main() { int i; for (i = 0; i < 10; i++)"
+            " { if (i % 2) a[i] = 1; } return 0; }"
+        )
+        assert result.analyzable_refs == set()
+
+    def test_ref_under_non_canonical_iterator_rejected(self):
+        program, result = analyze(
+            "int a[100]; int n = 10; int main() { int i;"
+            " for (i = 0; i < n; i++) a[i] = 1; return 0; }"
+        )
+        assert result.analyzable_refs == set()
+
+    def test_inner_nest_analyzable_under_irregular_outer(self):
+        # Static SPM tools analyze nests locally: a literal-bound inner
+        # nest is visible even inside a while loop.
+        program, result = analyze(
+            "int a[64]; int main() { int go = 3; int i;"
+            " while (go > 0) { for (i = 0; i < 64; i++) a[i] = i; go--; }"
+            " return 0; }"
+        )
+        assert len(result.analyzable_refs) == 1
+
+    def test_struct_member_ref_rejected(self):
+        program, result = analyze(
+            "struct s { int v[8]; }; struct s g;"
+            "int main() { int i; for (i = 0; i < 8; i++) g.v[i] = i; return 0; }"
+        )
+        # The base resolves to a member access, not a plain array symbol.
+        assert result.analyzable_refs == set()
+
+    def test_global_scalar_not_a_ref_candidate(self):
+        program, result = analyze(
+            "int g; int main() { g = 5; return g; }"
+        )
+        assert result.analyzable_refs == set()
+        assert result.rejected_refs == set()
+
+    def test_constant_index_outside_loop_analyzable(self):
+        program, result = analyze("int a[4]; int main() { a[2] = 1; return 0; }")
+        assert len(result.analyzable_refs) == 1

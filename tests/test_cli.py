@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+int g[64];
+int main() {
+    int i;
+    for (i = 0; i < 64; i++) g[i] = i;
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestExtract:
+    def test_prints_model(self, demo_file, capsys):
+        assert main(["extract", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "for (int" in out
+        assert "1 references" in out
+
+    def test_annotated_flag(self, demo_file, capsys):
+        main(["extract", demo_file, "--annotated"])
+        out = capsys.readouterr().out
+        assert "CHECKPOINT(" in out
+
+    def test_filter_flags(self, demo_file, capsys):
+        main(["extract", demo_file, "--nexec", "1000"])
+        out = capsys.readouterr().out
+        assert "0 references" in out
+
+    def test_hints_flag(self, tmp_path, capsys):
+        path = tmp_path / "two.c"
+        path.write_text("""
+        int A[512]; int acc;
+        int foo(int off) { int i; int r = 0;
+            for (i = 0; i < 32; i++) r += A[i + off]; return r; }
+        int main() { int x;
+            for (x = 0; x < 10; x++) acc += foo(10 * x);
+            for (x = 0; x < 10; x++) acc += foo(4 * x);
+            return 0; }
+        """)
+        main(["extract", str(path), "--hints"])
+        out = capsys.readouterr().out
+        assert "hint:" in out
+
+
+class TestFiguresAndSuite:
+    def test_figures_command(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1a", "fig4a", "fig7a", "fig9"):
+            assert name in out
+
+    def test_suite_subset(self, capsys):
+        assert main(["suite", "adpcm"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm" in out
+        assert "paper:loops" in out
+
+
+class TestSpm:
+    def test_spm_command(self, tmp_path, capsys):
+        path = tmp_path / "reuse.c"
+        path.write_text("""
+        int table[64]; int out[4096];
+        int main() { int rep, i;
+            for (rep = 0; rep < 64; rep++)
+                for (i = 0; i < 64; i++)
+                    out[64 * rep + i] = table[i];
+            return 0; }
+        """)
+        assert main(["spm", str(path), "--spm-bytes", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "SPM capacity: 1024" in out
+        assert "dma_copy" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

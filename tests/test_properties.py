@@ -1,0 +1,176 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These tie the whole pipeline together: programs are *generated*, executed
+on the simulator, and the extracted FORAY model is checked against ground
+truth computed directly in Python.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.foray.extractor import extract_from_source
+from repro.foray.filters import FilterConfig
+from repro.sim.machine import run_and_trace
+
+RELAXED = FilterConfig(nexec=1, nloc=1)
+
+
+class TestInterpreterArithmetic:
+    @given(
+        a=st.integers(min_value=-1000, max_value=1000),
+        b=st.integers(min_value=-1000, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int_ops_match_c_semantics(self, a, b):
+        source = f"""
+        int main() {{
+            int a = {a};
+            int b = {b};
+            int sum = a + b;
+            int prod = a * b;
+            int q = b != 0 ? a / b : 0;
+            int r = b != 0 ? a % b : 0;
+            return sum * 7 + prod * 3 + q * 2 + r;
+        }}
+        """
+        result, _, _ = run_and_trace(source)
+
+        def c_div(x, y):
+            q = abs(x) // abs(y)
+            return q if (x < 0) == (y < 0) else -q
+
+        q = c_div(a, b) if b else 0
+        r = a - q * b if b else 0
+        expected = (a + b) * 7 + (a * b) * 3 + q * 2 + r
+        expected = ((expected + 2**31) % 2**32) - 2**31  # int wrap
+        assert result.exit_code == expected
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_array_sum_matches_python(self, values):
+        items = ", ".join(str(v) for v in values)
+        source = f"""
+        int data[{len(values)}] = {{{items}}};
+        int main() {{
+            int i, total = 0;
+            for (i = 0; i < {len(values)}; i++) total += data[i];
+            return total;
+        }}
+        """
+        result, _, _ = run_and_trace(source)
+        assert result.exit_code == sum(values)
+
+
+class TestEndToEndAffineRecovery:
+    @given(
+        stride=st.integers(min_value=1, max_value=8),
+        trips=st.tuples(st.integers(min_value=2, max_value=6),
+                        st.integers(min_value=3, max_value=8)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generated_nest_recovered_exactly(self, stride, trips):
+        outer_trip, inner_trip = trips
+        row = 64  # elements per row
+        source = f"""
+        int g[{outer_trip * row}];
+        int main() {{
+            int i, j;
+            for (i = 0; i < {outer_trip}; i++)
+                for (j = 0; j < {inner_trip}; j++)
+                    g[{row} * i + {stride} * j] = i + j;
+            return 0;
+        }}
+        """
+        model, _, _ = extract_from_source(source, RELAXED)
+        stores = [r for r in model.references if r.writes > 0]
+        assert len(stores) == 1
+        (ref,) = stores
+        assert ref.is_full
+        assert ref.expression.used_coefficients() == (4 * stride, 4 * row)
+        assert ref.exec_count == outer_trip * inner_trip
+
+    @given(
+        trip=st.integers(min_value=20, max_value=60),
+        start=st.integers(min_value=0, max_value=32),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pointer_walk_equals_indexed_form(self, trip, start):
+        """A pointer walk and an explicit indexed loop over the same data
+        must produce the same affine expression (same coefficients and
+        footprint), differing only in pc."""
+        indexed = f"""
+        char buf[256];
+        int main() {{
+            int i;
+            for (i = 0; i < {trip}; i++) buf[{start} + i] = (char)i;
+            return 0;
+        }}
+        """
+        walking = f"""
+        char buf[256];
+        int main() {{
+            char *p = buf + {start};
+            int i;
+            for (i = 0; i < {trip}; i++) *p++ = (char)i;
+            return 0;
+        }}
+        """
+        model_a, _, _ = extract_from_source(indexed, RELAXED)
+        model_b, _, _ = extract_from_source(walking, RELAXED)
+        ref_a = [r for r in model_a.references if r.writes][0]
+        ref_b = [r for r in model_b.references if r.writes][0]
+        assert ref_a.expression.used_coefficients() == \
+            ref_b.expression.used_coefficients()
+        assert ref_a.expression.const == ref_b.expression.const
+        assert ref_a.footprint == ref_b.footprint
+
+
+class TestModelInvariants:
+    @given(
+        trips=st.lists(st.integers(min_value=1, max_value=5),
+                       min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_footprint_never_exceeds_exec_count(self, trips, seed):
+        depth = len(trips)
+        body = f"g[({seed % 7} * k) % 64] = k; k++;"
+        loops_open = "".join(
+            f"for (i{d} = 0; i{d} < {t}; i{d}++) {{" for d, t in enumerate(trips)
+        )
+        loops_close = "}" * depth
+        decls = ", ".join(f"i{d}" for d in range(depth))
+        source = f"""
+        int g[64];
+        int main() {{
+            int {decls};
+            int k = 0;
+            {loops_open}
+            {body}
+            {loops_close}
+            return 0;
+        }}
+        """
+        model, _, _ = extract_from_source(source, RELAXED)
+        for ref in model.unfiltered_references:
+            assert ref.footprint <= ref.exec_count
+            assert ref.reads + ref.writes == ref.exec_count
+            assert 0 <= ref.expression.num_iterators <= ref.nest_depth
+
+    @given(st.integers(min_value=2, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_trace_stats_account_for_all_accesses(self, trip):
+        source = f"""
+        int g[64];
+        int main() {{
+            int i;
+            for (i = 0; i < {trip}; i++) g[i % 64] = i;
+            memset(g, 0, 64);
+            return 0;
+        }}
+        """
+        model, result, _ = extract_from_source(source, RELAXED)
+        stats = model.trace_stats
+        assert stats.total_accesses == result.stats.accesses
+        assert stats.user_accesses + stats.lib_accesses == stats.total_accesses

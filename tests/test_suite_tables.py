@@ -1,0 +1,172 @@
+"""Integration tests: the mini-MiBench suite must reproduce the *shape* of
+the paper's Tables I-III (see EXPERIMENTS.md for the full comparison).
+
+These assertions are deliberately about ordering, signs and coarse bands —
+not absolute values, which depend on workload scale by construction.
+"""
+
+import pytest
+
+from repro.analysis.paper_data import BENCHMARK_NAMES
+
+pytestmark = pytest.mark.usefixtures("suite_reports")
+
+
+class TestSuiteRuns:
+    def test_all_six_benchmarks_present(self, suite_reports):
+        assert tuple(suite_reports) == BENCHMARK_NAMES
+
+    def test_all_programs_terminate_cleanly(self, suite_reports):
+        for report in suite_reports.values():
+            assert report.extraction.run_result.exit_code == 0
+
+    def test_all_programs_produce_output(self, suite_reports):
+        for name, report in suite_reports.items():
+            assert name in report.extraction.run_result.stdout
+
+    def test_every_model_nonempty(self, suite_reports):
+        for report in suite_reports.values():
+            assert report.model.reference_count >= 1
+
+
+class TestTable1Shape:
+    def test_adpcm_exact_loop_structure(self, suite_reports):
+        census = suite_reports["adpcm"].census
+        assert census.total_loops == 2
+        assert census.for_loops == 1
+        assert census.while_loops == 1
+
+    def test_fft_all_for_loops(self, suite_reports):
+        census = suite_reports["fft"].census
+        assert census.for_pct == 100.0
+
+    def test_lame_has_do_loops(self, suite_reports):
+        assert suite_reports["lame"].census.do_loops >= 1
+
+    def test_jpeg_has_significant_while_share(self, suite_reports):
+        census = suite_reports["jpeg"].census
+        assert census.while_pct >= 15.0
+
+    def test_for_loops_dominate_everywhere_but_adpcm(self, suite_reports):
+        for name, report in suite_reports.items():
+            if name != "adpcm":
+                assert report.census.for_pct > 50.0
+
+    def test_average_non_for_share_substantial(self, suite_reports):
+        # Paper: 23% of loops on average are not for loops.
+        shares = [r.census.non_for_pct for r in suite_reports.values()]
+        assert 10.0 <= sum(shares) / len(shares) <= 40.0
+
+    def test_jpeg_lame_loop_rich(self, suite_reports):
+        # jpeg and lame are the loop-rich benchmarks in the paper (169 and
+        # 479); in the scaled suite they must be the top two.
+        counts = {n: r.census.total_loops for n, r in suite_reports.items()}
+        top_two = sorted(counts, key=counts.get, reverse=True)[:2]
+        assert set(top_two) == {"jpeg", "lame"}
+
+
+class TestTable2Shape:
+    def test_fft_fully_in_source_form(self, suite_reports):
+        row = suite_reports["fft"].table2
+        assert row.loops_not_in_source_form_pct == 0.0
+        assert row.refs_not_in_source_form_pct == 0.0
+
+    def test_adpcm_fully_hidden_from_static(self, suite_reports):
+        row = suite_reports["adpcm"].table2
+        assert row.loops_not_in_source_form_pct == 100.0
+        assert row.refs_not_in_source_form_pct == 100.0
+
+    def test_adpcm_minimal_model(self, suite_reports):
+        row = suite_reports["adpcm"].table2
+        assert row.loops_in_model == 2
+        assert row.refs_in_model == 1
+
+    def test_gsm_most_hidden_references(self, suite_reports):
+        # gsm has the highest refs-not-in-form share of the non-total rows
+        # in the paper (74%).
+        rows = {n: r.table2.refs_not_in_source_form_pct
+                for n, r in suite_reports.items() if n != "adpcm"}
+        assert max(rows, key=rows.get) == "gsm"
+
+    def test_susan_loops_mostly_hidden(self, suite_reports):
+        assert suite_reports["susan"].table2.loops_not_in_source_form_pct >= 50.0
+
+    def test_jpeg_lame_middle_band(self, suite_reports):
+        for name in ("jpeg", "lame"):
+            row = suite_reports[name].table2
+            assert 20.0 <= row.refs_not_in_source_form_pct <= 60.0
+            assert 20.0 <= row.loops_not_in_source_form_pct <= 60.0
+
+    def test_headline_improvement_at_least_forty_percent(self, suite_reports):
+        # The paper reports ~2x on average; require a substantial gain.
+        rows = [r.table2 for r in suite_reports.values()]
+        total_model = sum(r.refs_in_model for r in rows)
+        total_static = sum(r.refs_in_source_form for r in rows)
+        assert total_model / total_static >= 1.3
+
+    def test_mean_per_benchmark_improvement_near_paper(self, suite_reports):
+        ratios = [
+            r.table2.improvement_ratio
+            for r in suite_reports.values()
+            if r.table2.improvement_ratio != float("inf")
+        ]
+        mean = sum(ratios) / len(ratios)
+        assert 1.5 <= mean <= 5.0  # paper: ~2x
+
+    def test_model_never_smaller_than_static(self, suite_reports):
+        for report in suite_reports.values():
+            row = report.table2
+            assert row.refs_in_model >= row.refs_in_source_form
+            assert row.loops_in_model >= row.loops_in_source_form
+
+
+class TestTable3Shape:
+    def test_model_refs_minority_of_total(self, suite_reports):
+        # Paper: few % of references suffice (ours is higher because the
+        # programs are small, but still a minority).
+        for report in suite_reports.values():
+            assert report.table3.model_refs_pct < 90.0
+
+    def test_model_accesses_substantial(self, suite_reports):
+        # Paper average: 29% of accesses captured.
+        shares = [r.table3.model_accesses_pct for r in suite_reports.values()]
+        assert sum(shares) / len(shares) >= 25.0
+
+    def test_fft_library_dominated(self, suite_reports):
+        row = suite_reports["fft"].table3
+        assert row.lib_accesses_pct > 40.0
+        assert row.lib_accesses_pct > row.model_accesses_pct
+
+    def test_adpcm_library_negligible_references(self, suite_reports):
+        row = suite_reports["adpcm"].table3
+        assert row.model_accesses_pct >= 20.0
+
+    def test_gsm_small_model_footprint_share(self, suite_reports):
+        # Paper gsm: heavy reuse of small windows (5% footprint).
+        row = suite_reports["gsm"].table3
+        assert row.model_footprint_pct <= 40.0
+
+    def test_lame_footprint_share_near_paper(self, suite_reports):
+        # Paper: 26%.
+        row = suite_reports["lame"].table3
+        assert 10.0 <= row.model_footprint_pct <= 50.0
+
+    def test_totals_consistent(self, suite_reports):
+        for report in suite_reports.values():
+            row = report.table3
+            assert row.model_accesses <= row.total_accesses
+            assert row.lib_accesses <= row.total_accesses
+            assert row.model_footprint <= row.total_footprint
+            assert row.model_references <= row.total_references
+
+
+class TestDeterminism:
+    def test_rerun_is_identical(self, suite_reports):
+        from repro.pipeline import run_workload
+        from repro.workloads.registry import get_workload
+
+        again = run_workload("adpcm", get_workload("adpcm").source)
+        before = suite_reports["adpcm"]
+        assert again.table2 == before.table2
+        assert again.census == before.census
+        assert again.table3 == before.table3

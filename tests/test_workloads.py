@@ -1,0 +1,59 @@
+"""Sanity tests for the workload programs themselves."""
+
+import pytest
+
+from repro.analysis.census import count_lines
+from repro.lang.semantics import parse_and_analyze
+from repro.staticfar.detector import detect
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    FIGURE_WORKLOADS,
+    MIBENCH_WORKLOADS,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_suite_names_in_paper_order(self):
+        assert workload_names() == ("jpeg", "lame", "susan", "fft", "gsm",
+                                    "adpcm")
+
+    def test_figures_registered(self):
+        assert set(FIGURE_WORKLOADS) == {
+            "fig1a", "fig1b", "fig4a", "fig7a", "fig7b", "fig9",
+        }
+
+    def test_all_is_union(self):
+        assert set(ALL_WORKLOADS) == set(MIBENCH_WORKLOADS) | set(FIGURE_WORKLOADS)
+
+    def test_lookup_error_lists_names(self):
+        with pytest.raises(KeyError) as exc:
+            get_workload("quake")
+        assert "jpeg" in str(exc.value)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+class TestAllWorkloadsWellFormed:
+    def test_parses_and_analyzes(self, name):
+        program = parse_and_analyze(ALL_WORKLOADS[name].source)
+        assert program.has_function("main")
+
+    def test_static_detector_runs(self, name):
+        program = parse_and_analyze(ALL_WORKLOADS[name].source)
+        result = detect(program)
+        assert result.loop_count >= 0
+
+    def test_description_present(self, name):
+        workload = ALL_WORKLOADS[name]
+        assert workload.description
+        assert workload.name == name
+
+
+@pytest.mark.parametrize("name", sorted(MIBENCH_WORKLOADS))
+class TestSuiteWorkloads:
+    def test_nontrivial_size(self, name):
+        assert count_lines(MIBENCH_WORKLOADS[name].source) >= 50
+
+    def test_paper_counterpart_documented(self, name):
+        assert "MiBench" in MIBENCH_WORKLOADS[name].paper_counterpart
