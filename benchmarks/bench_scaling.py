@@ -1,16 +1,32 @@
-"""The paper's complexity claim: single-pass, linear-time, constant-space.
+"""The paper's complexity claim — and the staged engine's scaling story.
 
 Section 4: "the computational complexity ... is linear with respect to the
 number of profiled instructions" and the analysis can run during profiling
 without storing the trace. These benches feed synthetic traces of growing
 length through the extractor and check that per-record cost stays flat and
 that analysis state does not grow with trace length.
+
+The second half benchmarks the staged execution engine itself:
+
+* bytecode vs AST engine on simulated steps/sec (largest suite workload);
+* serial vs multiprocess ``run_suite`` wall-clock (skipped on 1-CPU hosts,
+  where fan-out cannot beat serial by construction).
 """
+
+import os
+import time
 
 import pytest
 
 from benchmarks.conftest import write_result
 from repro.foray.extractor import ForayExtractor
+from repro.pipeline import PipelineConfig, clear_caches, run_suite
+from repro.sim.machine import (
+    EngineConfig,
+    compile_program,
+    lower_compiled,
+    run_compiled,
+)
 from repro.sim.trace import (
     Access,
     Checkpoint,
@@ -18,6 +34,7 @@ from repro.sim.trace import (
     CheckpointKind,
     CheckpointMap,
 )
+from repro.workloads.registry import MIBENCH_WORKLOADS
 
 B, S, E = (CheckpointKind.LOOP_BEGIN, CheckpointKind.BODY_BEGIN,
            CheckpointKind.BODY_END)
@@ -91,3 +108,92 @@ def test_streaming_needs_no_trace_storage(benchmark):
 
     model = benchmark.pedantic(run, rounds=3, iterations=1)
     assert model.references[0].exec_count == 2_000
+
+
+# ---------------------------------------------------------------------------
+# Staged execution engine
+# ---------------------------------------------------------------------------
+
+
+def _time_engine(compiled, engine: str, rounds: int = 3) -> tuple[float, int]:
+    """Best-of-N wall time and the step count of one simulated run."""
+    best = float("inf")
+    steps = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run_compiled(compiled, config=EngineConfig(engine=engine))
+        best = min(best, time.perf_counter() - start)
+        steps = result.stats.steps
+    return best, steps
+
+
+def test_bytecode_engine_speedup(results_dir):
+    """The bytecode engine must simulate the largest suite workload at
+    >= 2x the AST engine's steps/sec (lowering excluded — it is compiled
+    once and cached)."""
+    compiled_by_name = {
+        name: compile_program(workload.source)
+        for name, workload in MIBENCH_WORKLOADS.items()
+    }
+    for compiled in compiled_by_name.values():
+        lower_compiled(compiled)  # exclude lowering from the timings
+
+    # "Largest" by simulated work, measured on the fast engine.
+    sizes = {
+        name: run_compiled(c, config=EngineConfig(engine="bytecode")).stats.steps
+        for name, c in compiled_by_name.items()
+    }
+    largest = max(sizes, key=sizes.get)
+
+    lines = []
+    speedups = {}
+    for name, compiled in compiled_by_name.items():
+        # Same rounds for both engines: best-of-N on one side only would
+        # bias the asserted ratio.
+        ast_time, steps = _time_engine(compiled, "ast", rounds=2)
+        bc_time, bc_steps = _time_engine(compiled, "bytecode", rounds=2)
+        assert steps == bc_steps, "engines disagree on simulated steps"
+        speedups[name] = ast_time / bc_time
+        lines.append(
+            f"{name:8s} steps={steps:>9} ast={steps / ast_time:>10.0f} sps "
+            f"bytecode={steps / bc_time:>10.0f} sps "
+            f"speedup={speedups[name]:.2f}x"
+            + ("  <- largest" if name == largest else "")
+        )
+    write_result(results_dir, "engine_speedup.txt", "\n".join(lines))
+    assert speedups[largest] >= 2.0, (
+        f"bytecode engine only {speedups[largest]:.2f}x faster than the AST "
+        f"engine on {largest}"
+    )
+
+
+def test_parallel_suite_speedup(results_dir):
+    """run_suite(jobs=N) must beat the serial suite wall-clock (requires
+    more than one CPU; fan-out cannot win on a single core)."""
+    config = PipelineConfig(cache=False)
+    clear_caches()
+    start = time.perf_counter()
+    serial = run_suite(config=config)
+    serial_time = time.perf_counter() - start
+
+    cpus = os.cpu_count() or 1
+    jobs = min(4, cpus)
+    start = time.perf_counter()
+    parallel = run_suite(jobs=jobs, config=config)
+    parallel_time = time.perf_counter() - start
+
+    assert [r.name for r in parallel] == [r.name for r in serial]
+    for left, right in zip(serial, parallel):
+        assert left.table2 == right.table2 and left.table3 == right.table3
+
+    write_result(
+        results_dir, "parallel_suite.txt",
+        f"suite serial: {serial_time:.2f}s, jobs={jobs}: {parallel_time:.2f}s "
+        f"({serial_time / parallel_time:.2f}x) on {cpus} CPU(s)",
+    )
+    if cpus == 1:
+        pytest.skip("single-CPU host: parallel fan-out cannot beat serial")
+    assert parallel_time < serial_time, (
+        f"parallel suite ({parallel_time:.2f}s) did not beat serial "
+        f"({serial_time:.2f}s) with jobs={jobs}"
+    )

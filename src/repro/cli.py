@@ -34,7 +34,13 @@ from repro.foray.emitter import emit_model
 from repro.foray.filters import FilterConfig
 from repro.foray.hints import inlining_hints
 from repro.lang.printer import to_source
-from repro.pipeline import extract_foray_model, full_flow, run_suite
+from repro.pipeline import (
+    PipelineConfig,
+    extract_foray_model,
+    full_flow,
+    run_suite,
+)
+from repro.sim.machine import DEFAULT_ENGINE, ENGINES
 from repro.spm.explore import explore
 from repro.workloads.registry import FIGURE_WORKLOADS
 
@@ -46,13 +52,29 @@ def _add_filter_args(parser: argparse.ArgumentParser) -> None:
                         help="step-4 minimum distinct locations (paper: 10)")
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+                        help="execution engine (default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the compiled/extraction artifact cache")
+
+
 def _filter_from(args) -> FilterConfig:
     return FilterConfig(nexec=args.nexec, nloc=args.nloc)
 
 
+def _config_from(args) -> PipelineConfig:
+    return PipelineConfig(
+        engine=getattr(args, "engine", DEFAULT_ENGINE),
+        jobs=getattr(args, "jobs", 1),
+        cache=not getattr(args, "no_cache", False),
+        filter_config=_filter_from(args),
+    )
+
+
 def cmd_extract(args) -> int:
     source = open(args.file).read()
-    result = extract_foray_model(source, _filter_from(args))
+    result = extract_foray_model(source, config=_config_from(args))
     if args.annotated:
         print("/* annotated source */")
         print(to_source(result.compiled.program))
@@ -71,7 +93,7 @@ def cmd_extract(args) -> int:
 
 def cmd_suite(args) -> int:
     names = tuple(args.names) or None
-    reports = run_suite(names, _filter_from(args))
+    reports = run_suite(names, jobs=args.jobs, config=_config_from(args))
     print(format_table1([r.census for r in reports]))
     print()
     print(format_table2([r.table2 for r in reports]))
@@ -94,7 +116,7 @@ def cmd_figures(args) -> int:
 def cmd_spm(args) -> int:
     source = open(args.file).read()
     flow = full_flow(args.file, source, spm_bytes=args.spm_bytes,
-                     filter_config=_filter_from(args))
+                     config=_config_from(args))
     print(flow.report.extraction.foray_source)
     print(flow.transformed_source)
     print(f"{'bytes':>8} {'buffers':>8} {'saved nJ':>12}")
@@ -118,12 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_extract.add_argument("--hints", action="store_true",
                            help="print function-duplication hints")
     _add_filter_args(p_extract)
+    _add_engine_args(p_extract)
     p_extract.set_defaults(func=cmd_extract)
 
     p_suite = sub.add_parser("suite", help="Tables I-III on mini-MiBench")
     p_suite.add_argument("names", nargs="*",
                          help="benchmark subset (default: all six)")
+    p_suite.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the suite "
+                              "(0 = CPU count; default: serial)")
     _add_filter_args(p_suite)
+    _add_engine_args(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
@@ -133,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_spm.add_argument("file")
     p_spm.add_argument("--spm-bytes", type=int, default=4096)
     _add_filter_args(p_spm)
+    _add_engine_args(p_spm)
     p_spm.set_defaults(func=cmd_spm)
     return parser
 

@@ -26,8 +26,8 @@ from repro.foray.filters import FilterConfig
 from repro.foray.looptree import LoopNode, LoopTreeBuilder
 from repro.foray.model import ForayLoop, ForayModel, ForayReference
 from repro.sim.trace import (
+    LIB_PC_BASE,
     Access,
-    Checkpoint,
     CheckpointMap,
     TraceRecord,
     is_library_pc,
@@ -84,6 +84,52 @@ class ForayExtractor:
     def consume(self, records: Iterable[TraceRecord]) -> None:
         for record in records:
             self.emit(record)
+
+    def emit_block(self, accesses, checkpoints) -> None:
+        """Batched sink entry point (the engines' hot path).
+
+        ``accesses`` are ``(pc, addr, size, is_write)`` tuples and
+        ``checkpoints`` are ``(pos, checkpoint_id, kind_code)`` tuples as
+        described in :mod:`repro.sim.trace`. Processing stays strictly
+        online and constant-space: the block is consumed event by event
+        without constructing record objects, and the paper's loop-iterator
+        vector is recomputed only when a checkpoint changes it.
+        """
+        tree = self._tree
+        stats = self.stats
+        on_checkpoint = tree.on_checkpoint_code
+        ci = 0
+        ncp = len(checkpoints)
+        node = tree.current
+        iterators = tree.current_iterators()
+        for i, (pc, addr, size, is_write) in enumerate(accesses):
+            if ci < ncp and checkpoints[ci][0] <= i:
+                while ci < ncp and checkpoints[ci][0] <= i:
+                    entry = checkpoints[ci]
+                    ci += 1
+                    on_checkpoint(entry[1], entry[2])
+                node = tree.current
+                iterators = tree.current_iterators()
+            stats.total_accesses += 1
+            if pc >= LIB_PC_BASE:
+                # System-library references are not handled by FORAY-GEN
+                # (paper Section 5.2) but are counted for Table III.
+                stats.lib_accesses += 1
+                stats.lib_refs.add((node.uid, pc))
+                stats.lib_addresses.add(addr)
+                continue
+            stats.user_accesses += 1
+            stats.user_refs.add((node.uid, pc))
+            stats.user_addresses.add(addr)
+            solver = node.references.get(pc)
+            if solver is None:
+                solver = ReferenceSolver(pc, node.depth)
+                node.references[pc] = solver
+            solver.observe(addr, iterators, is_write, size)
+        while ci < ncp:
+            entry = checkpoints[ci]
+            ci += 1
+            on_checkpoint(entry[1], entry[2])
 
     # -- record processing ---------------------------------------------------
 

@@ -142,6 +142,19 @@ class LoopTreeBuilder:
         else:
             self._on_body_end(checkpoint_id)
 
+    def on_checkpoint_code(self, checkpoint_id: int, kind_code: int) -> None:
+        """Batched-protocol entry point: kind as a compact integer code.
+
+        Avoids constructing a :class:`Checkpoint` record per event (see
+        :data:`repro.sim.trace.KIND_TO_CODE`).
+        """
+        if kind_code == 0:  # LOOP_BEGIN
+            self._on_loop_begin(checkpoint_id)
+        elif kind_code == 1:  # BODY_BEGIN
+            self._on_body_begin(checkpoint_id)
+        else:  # BODY_END
+            self._on_body_end(checkpoint_id)
+
     def _on_loop_begin(self, begin_id: int) -> None:
         # A new loop starting while the top's body is closed means the top
         # loop has exited: pop it.

@@ -23,7 +23,10 @@ source-to-source annotation, and robust against re-parsing.
 
 The pass also produces the :class:`~repro.sim.trace.CheckpointMap` that the
 trace reader and Algorithm 2 use to recover checkpoint kinds and loop
-metadata from the id-only text trace.
+metadata from the id-only text trace. Each :class:`CheckpointInfo` carries
+the precomputed compact ``kind_code`` used by the batched trace protocol,
+so the engines and the extractor never translate enum kinds on the hot
+path.
 """
 
 from __future__ import annotations

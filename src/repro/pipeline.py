@@ -1,17 +1,42 @@
 """Top-level FORAY-GEN pipeline — the public API most users want.
 
-* :func:`extract_foray_model` — Phase I on MiniC source (annotate, profile,
-  analyze, purge) returning the FORAY model.
-* :func:`run_workload` — Phase I plus the static baseline and all
-  table metrics for one workload.
-* :func:`run_suite` — the full mini-MiBench evaluation (Tables I–III).
-* :func:`full_flow` — Phases I+II: extract the model, then run the SPM
-  reuse analysis / buffer allocation and emit the transformed model.
+The flow is organised as a registry of named stages, executed in order::
+
+    compile → instrument → simulate → extract → analyze → optimize
+
+* **compile** — parse + semantic analysis of the MiniC source;
+* **instrument** — checkpoint annotation (paper Algorithm 1, step 1);
+* **simulate** — execute the program on the selected engine with the
+  FORAY extractor attached as a live trace sink (the paper's
+  constant-space online mode);
+* **extract** — finalize the loop tree and purge the model (steps 2–4);
+* **analyze** — static baseline plus the Table I–III metrics;
+* **optimize** — Phase II SPM reuse analysis / buffer allocation.
+
+:class:`PipelineConfig` selects the execution engine (``bytecode`` or
+``ast``), the suite parallelism (``jobs``) and whether the content-hash
+artifact cache is consulted. The classic entry points are thin
+compositions over the stages:
+
+* :func:`extract_foray_model` — stages through **extract**, returning the
+  FORAY model.
+* :func:`run_workload` — through **analyze** for one workload.
+* :func:`run_suite` — the full mini-MiBench evaluation (Tables I–III),
+  optionally fanned out over worker processes with ``jobs=N``.
+* :func:`full_flow` — through **optimize**, emitting the transformed model.
+
+Compiled programs and extraction results are memoized in an in-process
+content-hash cache (keyed by source text and the exact run configuration);
+pass ``cache=False`` / ``--no-cache`` to bypass it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
 from repro.analysis.census import LoopCensus, loop_census
 from repro.analysis.coverage import (
@@ -24,12 +49,285 @@ from repro.foray.emitter import emit_model
 from repro.foray.extractor import ForayExtractor
 from repro.foray.filters import FilterConfig
 from repro.foray.model import ForayModel
-from repro.sim.machine import CompiledProgram, RunResult, compile_program, run_compiled
+from repro.sim.machine import (
+    DEFAULT_ENGINE,
+    CompiledProgram,
+    EngineConfig,
+    RunResult,
+    compile_program,
+    run_compiled,
+)
 from repro.spm.allocator import Allocation
 from repro.spm.energy import EnergyModel
 from repro.spm.explore import best_allocation
 from repro.spm.transform import transform_model
 from repro.staticfar.detector import StaticAnalysisResult, detect
+
+DEFAULT_MAX_STEPS = 200_000_000
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Cross-cutting knobs for the staged pipeline."""
+
+    engine: str = DEFAULT_ENGINE
+    jobs: int = 1
+    cache: bool = True
+    entry: str = "main"
+    max_steps: int = DEFAULT_MAX_STEPS
+    filter_config: FilterConfig | None = None
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(engine=self.engine, max_steps=self.max_steps)
+
+
+def _merge_config(
+    config: PipelineConfig | None,
+    filter_config: FilterConfig | None,
+    max_steps: int | None = None,
+    entry: str | None = None,
+) -> PipelineConfig:
+    """Fold classic per-call arguments into a :class:`PipelineConfig`.
+
+    Only explicitly passed arguments (non-None) override the config.
+    """
+    merged = config or PipelineConfig()
+    if filter_config is not None:
+        merged = replace(merged, filter_config=filter_config)
+    if max_steps is not None:
+        merged = replace(merged, max_steps=max_steps)
+    if entry is not None:
+        merged = replace(merged, entry=entry)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------------
+
+
+class ArtifactCache:
+    """A content-addressed in-process memo of pipeline artifacts.
+
+    Bounded: the least-recently-inserted entry is evicted beyond
+    ``max_entries`` (extraction artifacts retain the full simulated run,
+    so unbounded growth would hold one address space per key).
+    """
+
+    def __init__(self, name: str, max_entries: int = 64):
+        self.name = name
+        self.max_entries = max_entries
+        self._store: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        artifact = self._store.get(key)
+        if artifact is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact) -> None:
+        while len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = artifact
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Compiled (analyzed + instrumented + lazily lowered) programs by source.
+compile_cache = ArtifactCache("compile")
+#: Finished extraction results by (source, engine, filters, budget, entry).
+extraction_cache = ArtifactCache("extraction")
+
+
+def clear_caches() -> None:
+    """Drop all memoized pipeline artifacts (mainly for benchmarks)."""
+    compile_cache.clear()
+    extraction_cache.clear()
+
+
+def _content_key(*parts) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _compile_key(source: str) -> str:
+    return _content_key("compile", source)
+
+
+def _extraction_key(source: str, config: PipelineConfig) -> str:
+    return _content_key(
+        "extract",
+        source,
+        config.engine,
+        config.entry,
+        config.max_steps,
+        config.filter_config or FilterConfig(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the stages of one pipeline run."""
+
+    source: str
+    config: PipelineConfig
+    name: str = "<anonymous>"
+    spm_bytes: int = 4096
+    energy_model: EnergyModel | None = None
+
+    # Artifacts, filled in by the stages.
+    compiled: CompiledProgram | None = None
+    extractor: ForayExtractor | None = None
+    run_result: RunResult | None = None
+    extraction: "ExtractionResult | None" = None
+    report: "WorkloadReport | None" = None
+    flow: "FullFlowResult | None" = None
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of the pipeline."""
+
+    name: str
+    func: Callable[[PipelineContext], None]
+    description: str
+
+
+#: Registered stages, in execution order.
+STAGES: dict[str, Stage] = {}
+
+
+def register_stage(name: str, description: str):
+    def decorator(func: Callable[[PipelineContext], None]):
+        STAGES[name] = Stage(name, func, description)
+        return func
+
+    return decorator
+
+
+def stage_names() -> tuple[str, ...]:
+    """The registered stage names, in execution order."""
+    return tuple(STAGES)
+
+
+def run_stages(ctx: PipelineContext, upto: str) -> PipelineContext:
+    """Run the registered stages in order, stopping after ``upto``."""
+    if upto not in STAGES:
+        raise KeyError(f"unknown stage {upto!r}; known: {stage_names()}")
+    for stage in STAGES.values():
+        stage.func(ctx)
+        if stage.name == upto:
+            break
+    return ctx
+
+
+@register_stage("compile", "parse + semantic analysis")
+def _stage_compile(ctx: PipelineContext) -> None:
+    if ctx.compiled is not None:
+        return
+    key = _compile_key(ctx.source)
+    if ctx.config.cache:
+        cached = compile_cache.get(key)
+        if cached is not None:
+            ctx.compiled = cached  # already instrumented; skips both stages
+            return
+    # compile_program also runs the instrument pass; the separate stage
+    # below exists so callers can observe/extend the boundary.
+    ctx.compiled = compile_program(ctx.source, annotate=False)
+
+
+@register_stage("instrument", "checkpoint annotation (Algorithm 1 step 1)")
+def _stage_instrument(ctx: PipelineContext) -> None:
+    assert ctx.compiled is not None
+    if ctx.compiled.is_instrumented:
+        return  # cache hit delivered an instrumented program
+    from repro.instrument.checkpoints import instrument
+
+    ctx.compiled.checkpoint_map = instrument(ctx.compiled.program)
+    if ctx.config.cache:
+        compile_cache.put(_compile_key(ctx.source), ctx.compiled)
+
+
+@register_stage("simulate", "profile on the selected engine (online sink)")
+def _stage_simulate(ctx: PipelineContext) -> None:
+    config = ctx.config
+    if config.cache:
+        cached = extraction_cache.get(_extraction_key(ctx.source, config))
+        if cached is not None:
+            ctx.extraction = cached
+            ctx.extractor = cached.extractor
+            ctx.run_result = cached.run_result
+            ctx.compiled = cached.compiled
+            return
+    assert ctx.compiled is not None
+    ctx.extractor = ForayExtractor(ctx.compiled.checkpoint_map,
+                                   config.filter_config)
+    ctx.run_result = run_compiled(
+        ctx.compiled,
+        sinks=(ctx.extractor,),
+        entry=config.entry,
+        config=config.engine_config(),
+    )
+
+
+@register_stage("extract", "finalize + purge the FORAY model (steps 2-4)")
+def _stage_extract(ctx: PipelineContext) -> None:
+    if ctx.extraction is not None:
+        return
+    assert ctx.extractor is not None and ctx.run_result is not None
+    assert ctx.compiled is not None
+    ctx.extraction = ExtractionResult(
+        ctx.extractor.finish(), ctx.compiled, ctx.run_result, ctx.extractor
+    )
+    if ctx.config.cache:
+        extraction_cache.put(_extraction_key(ctx.source, ctx.config),
+                             ctx.extraction)
+
+
+@register_stage("analyze", "static baseline + Tables I-III metrics")
+def _stage_analyze(ctx: PipelineContext) -> None:
+    assert ctx.extraction is not None
+    extraction = ctx.extraction
+    static_result = detect(extraction.compiled.program)
+    census = loop_census(ctx.name, ctx.source,
+                         extraction.extractor.executed_loops())
+    table2 = table2_coverage(ctx.name, extraction.model, static_result)
+    table3 = table3_behavior(ctx.name, extraction.model)
+    ctx.report = WorkloadReport(ctx.name, extraction, static_result, census,
+                                table2, table3)
+
+
+@register_stage("optimize", "Phase II: SPM allocation + model transform")
+def _stage_optimize(ctx: PipelineContext) -> None:
+    assert ctx.report is not None
+    energy_model = ctx.energy_model or EnergyModel()
+    allocation = best_allocation(ctx.report.model, ctx.spm_bytes, energy_model)
+    transformed = transform_model(allocation)
+    ctx.flow = FullFlowResult(ctx.report, allocation, transformed,
+                              energy_model)
+
+
+# ---------------------------------------------------------------------------
+# Results and classic entry points
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -50,19 +348,19 @@ class ExtractionResult:
 def extract_foray_model(
     source: str,
     filter_config: FilterConfig | None = None,
-    entry: str = "main",
-    max_steps: int = 200_000_000,
+    entry: str | None = None,
+    max_steps: int | None = None,
+    config: PipelineConfig | None = None,
 ) -> ExtractionResult:
     """Run Phase I (FORAY-GEN) on MiniC source text.
 
     The extractor is attached as a live trace sink (the paper's
     constant-space online mode).
     """
-    compiled = compile_program(source)
-    extractor = ForayExtractor(compiled.checkpoint_map, filter_config)
-    run_result = run_compiled(compiled, sinks=(extractor,), entry=entry,
-                              max_steps=max_steps)
-    return ExtractionResult(extractor.finish(), compiled, run_result, extractor)
+    merged = _merge_config(config, filter_config, max_steps, entry)
+    ctx = run_stages(PipelineContext(source, merged), upto="extract")
+    assert ctx.extraction is not None
+    return ctx.extraction
 
 
 @dataclass
@@ -85,29 +383,60 @@ def run_workload(
     name: str,
     source: str,
     filter_config: FilterConfig | None = None,
-    max_steps: int = 200_000_000,
+    max_steps: int | None = None,
+    config: PipelineConfig | None = None,
 ) -> WorkloadReport:
     """Phase I + static baseline + Tables I/II/III metrics for one program."""
-    extraction = extract_foray_model(source, filter_config, max_steps=max_steps)
-    static_result = detect(extraction.compiled.program)
-    census = loop_census(name, source, extraction.extractor.executed_loops())
-    table2 = table2_coverage(name, extraction.model, static_result)
-    table3 = table3_behavior(name, extraction.model)
-    return WorkloadReport(name, extraction, static_result, census, table2, table3)
+    merged = _merge_config(config, filter_config, max_steps)
+    ctx = run_stages(PipelineContext(source, merged, name=name),
+                     upto="analyze")
+    assert ctx.report is not None
+    return ctx.report
+
+
+def _suite_worker(args: tuple[str, str, PipelineConfig]) -> WorkloadReport:
+    name, source, config = args
+    return run_workload(name, source, config=config)
 
 
 def run_suite(
     names: tuple[str, ...] | None = None,
     filter_config: FilterConfig | None = None,
+    jobs: int = 1,
+    config: PipelineConfig | None = None,
 ) -> list[WorkloadReport]:
-    """Run the full mini-MiBench suite (the paper's six benchmarks)."""
+    """Run the full mini-MiBench suite (the paper's six benchmarks).
+
+    ``jobs > 1`` fans the workloads out over that many worker processes
+    (``jobs=0`` uses the CPU count); results come back in suite order
+    either way.
+    """
     from repro.workloads.registry import get_workload, workload_names
 
-    reports = []
-    for name in names or workload_names():
-        workload = get_workload(name)
-        reports.append(run_workload(workload.name, workload.source, filter_config))
-    return reports
+    merged = _merge_config(config, filter_config)
+    if config is not None and jobs == 1:
+        jobs = config.jobs
+    selected = [get_workload(name) for name in (names or workload_names())]
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(selected)))
+
+    if jobs == 1:
+        return [
+            run_workload(workload.name, workload.source, config=merged)
+            for workload in selected
+        ]
+
+    tasks = [(w.name, w.source, merged) for w in selected]
+    import multiprocessing
+
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        mp_context = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=mp_context) as executor:
+        return list(executor.map(_suite_worker, tasks))
 
 
 @dataclass
@@ -130,6 +459,7 @@ def full_flow(
     spm_bytes: int = 4096,
     filter_config: FilterConfig | None = None,
     energy_model: EnergyModel | None = None,
+    config: PipelineConfig | None = None,
 ) -> FullFlowResult:
     """The complete design flow of the paper's Figure 3 (Phases I and II).
 
@@ -137,8 +467,9 @@ def full_flow(
     is manual by design in the paper; the transformed model text returned
     here is the input a designer would use for it.
     """
-    energy_model = energy_model or EnergyModel()
-    report = run_workload(name, source, filter_config)
-    allocation = best_allocation(report.model, spm_bytes, energy_model)
-    transformed = transform_model(allocation)
-    return FullFlowResult(report, allocation, transformed, energy_model)
+    merged = _merge_config(config, filter_config)
+    ctx = PipelineContext(source, merged, name=name, spm_bytes=spm_bytes,
+                          energy_model=energy_model)
+    run_stages(ctx, upto="optimize")
+    assert ctx.flow is not None
+    return ctx.flow

@@ -5,11 +5,16 @@ MiniC programs over a simulated 32-bit address space and streams the
 checkpoint/memory-access trace that FORAY-GEN consumes.
 """
 
+from repro.sim.bytecode import BytecodeVM, lower_program
 from repro.sim.interpreter import ExecLimitExceeded, Interpreter
 from repro.sim.machine import (
+    DEFAULT_ENGINE,
+    ENGINES,
     CompiledProgram,
+    EngineConfig,
     RunResult,
     compile_program,
+    lower_compiled,
     run_and_trace,
     run_compiled,
 )
@@ -27,9 +32,15 @@ from repro.sim.trace import (
 __all__ = [
     "ExecLimitExceeded",
     "Interpreter",
+    "BytecodeVM",
+    "lower_program",
     "CompiledProgram",
+    "EngineConfig",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "RunResult",
     "compile_program",
+    "lower_compiled",
     "run_and_trace",
     "run_compiled",
     "Access",

@@ -1,0 +1,1586 @@
+"""Bytecode fast path: lowering pass + register-machine dispatch loop.
+
+The tree-walking interpreter (:mod:`repro.sim.interpreter`) pays for a
+dict-dispatch, several helper calls and an exception-based control-flow
+protocol on *every* AST node it touches. This module compiles the analyzed
+(and usually instrumented) program once into a flat, register-oriented
+instruction list per function and executes it with a single dispatch loop:
+
+* every function gets a frame of numbered slots ("registers") holding
+  register-promoted scalars, the addresses of stack-allocated variables,
+  and expression temporaries;
+* control flow (``if``/loops/``break``/``continue``/``return``) is lowered
+  to conditional jumps — no Python exceptions on the hot path;
+* calls are handled iteratively with an explicit frame stack, so deep
+  simulated recursion needs no Python recursion;
+* checkpoints and memory accesses append raw tuples to block buffers and
+  are flushed through the batched :meth:`TraceSink.emit_block` protocol.
+
+Trace parity: the lowering mirrors the tree-walker's evaluation order,
+conversion rules and checkpoint placement exactly, so both engines produce
+byte-identical traces and FORAY models (enforced by
+``tests/test_engine_parity.py``). The one intentional difference is
+:class:`RunStats` — both engines count a step per executed statement and
+per loop iteration, but an aborted mid-statement run may stop at a
+slightly different counter value.
+
+The paper's *body-end* checkpoint fires on every body exit, including a
+``return`` or ``exit()`` unwinding through the loop. Normal exits,
+``break`` and ``continue`` compile to explicit checkpoint instructions;
+for ``exit()`` (which unwinds the whole frame stack from inside a builtin)
+each function carries a static table of its instrumented body regions, and
+the VM replays the pending body-end checkpoints innermost-first from the
+saved per-frame pcs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+from repro.lang.ctypes_ import (
+    ArrayType,
+    CType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    decay,
+)
+from repro.lang.errors import MiniCRuntimeError
+from repro.lang.semantics import Symbol
+from repro.sim import builtins as libc
+from repro.sim.builtins import ExitSignal
+from repro.sim.interpreter import ExecLimitExceeded, RunStats
+from repro.sim.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    BumpAllocator,
+    Memory,
+    StackAllocator,
+)
+from repro.sim.trace import (
+    BODY_END_CODE,
+    DEFAULT_TRACE_BLOCK,
+    LIB_PC_BASE,
+    TraceSink,
+    load_pc,
+    store_pc,
+)
+
+_ADDR_MASK = 0xFFFFFFFF
+
+# ---------------------------------------------------------------------------
+# Opcodes. Grouped roughly by dynamic frequency; the dispatch loop tests the
+# hot group first.
+# ---------------------------------------------------------------------------
+
+(
+    OP_STEP,        # (op, amount)
+    OP_CONST,       # (op, dst, value)
+    OP_MOV,         # (op, dst, src)
+    OP_ELEM,        # (op, dst, base, index, elem_size)
+    OP_MEMBOFF,     # (op, dst, base, offset)
+    OP_LOAD_I,      # (op, dst, addr, off, size, fmt, signed, pc)
+    OP_LOAD_F,      # (op, dst, addr, off, size, fmt, pc)
+    OP_STORE_I,     # (op, addr, off, src, dst, size, mask, maxv, fmt, pc)
+    OP_STORE_F,     # (op, addr, off, src, dst, size, fmt, pc)
+    OP_STORE_P,     # (op, addr, off, src, dst, pc)
+    OP_ADD_I,       # (op, dst, a, b, mask, maxv)
+    OP_SUB_I,
+    OP_MUL_I,
+    OP_ADDK_I,      # (op, dst, a, imm, mask, maxv)
+    OP_LT,          # (op, dst, a, b)
+    OP_LE,
+    OP_GT,
+    OP_GE,
+    OP_EQ,
+    OP_NE,
+    OP_JMP,         # (op, target)
+    OP_JZ,          # (op, src, target)
+    OP_JNZ,
+    OP_CKPT,        # (op, checkpoint_id, kind_code)
+    OP_ADD_P,       # (op, dst, ptr, idx, elem_size)
+    OP_ADDK_P,      # (op, dst, a, scaled_imm)
+    OP_ADD_F,       # (op, dst, a, b)
+    OP_SUB_F,
+    OP_MUL_F,
+    OP_DIV_F,       # (op, dst, a, b, location)
+    OP_DIV_I,       # (op, dst, a, b, mask, maxv, location)
+    OP_MOD_I,
+    OP_SHL,         # (op, dst, a, b, mask, maxv)
+    OP_SHR,
+    OP_AND,
+    OP_OR,
+    OP_XOR,
+    OP_SUB_PI,      # (op, dst, ptr, idx, elem_size)
+    OP_SUB_PP,      # (op, dst, a, b, elem_size)
+    OP_ADDK_F,      # (op, dst, a, imm)
+    OP_NEG_I,       # (op, dst, a, mask, maxv)
+    OP_NEG_F,       # (op, dst, a)
+    OP_NOT,         # (op, dst, a)
+    OP_BNOT,        # (op, dst, a, mask, maxv)
+    OP_CONV_I,      # (op, dst, src, mask, maxv)
+    OP_CONV_F,      # (op, dst, src)
+    OP_CONV_P,      # (op, dst, src)
+    OP_CALL,        # (op, dst, function_name, arg_slots)
+    OP_CALLB,       # (op, dst, builtin_name, arg_slots)
+    OP_RET,         # (op, src)
+    OP_RET0,        # (op,)
+    OP_DECL,        # (op, slot, size, align)
+    OP_ZFILL,       # (op, addr_slot, off, size)
+    OP_WBYTES,      # (op, addr_slot, off, data)
+    OP_STR,         # (op, dst, text)
+    OP_GADDR,       # (op, dst, global_index)
+) = range(56)
+
+
+def _int_conv(ctype: IntType) -> tuple[int, int]:
+    """(mask, max_value) encoding of IntType.wrap; maxv == -1 → unsigned."""
+    mask = (1 << (8 * ctype.byte_size)) - 1
+    return mask, (ctype.max_value if ctype.signed else -1)
+
+
+# struct formats for the VM's single-page memory fast path. Instructions
+# carry the format string (keeping them picklable for the multiprocess
+# suite runner); the dispatch loop resolves the bound methods below.
+_INT_LOAD_FMT = {
+    (1, True): "<b", (1, False): "<B",
+    (2, True): "<h", (2, False): "<H",
+    (4, True): "<i", (4, False): "<I",
+    (8, True): "<q", (8, False): "<Q",
+}
+_INT_STORE_FMT = {1: "<B", 2: "<H", 4: "<I", 8: "<Q"}
+_FLOAT_FMT = {4: "<f", 8: "<d"}
+_UNPACK = {
+    fmt: struct.Struct(fmt).unpack_from
+    for fmt in (*_INT_LOAD_FMT.values(), *_FLOAT_FMT.values())
+}
+_PACK = {
+    fmt: struct.Struct(fmt).pack_into
+    for fmt in (*_INT_STORE_FMT.values(), *_FLOAT_FMT.values())
+}
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+def _c_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+# ---------------------------------------------------------------------------
+# Compiled artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParamSpec:
+    """How one parameter of a bytecode function is bound at call time."""
+
+    slot: int
+    in_memory: bool
+    ctype: CType
+    # Conversion tag: 0 passthrough, 1 int-wrap, 2 float, 3 pointer-mask.
+    conv: int
+    mask: int = 0
+    maxv: int = -1
+
+
+@dataclass
+class BytecodeFunction:
+    name: str
+    code: tuple[tuple, ...] = ()
+    n_slots: int = 0
+    params: list[ParamSpec] = field(default_factory=list)
+    returns_void: bool = False
+    #: Static instrumented-body regions, innermost-last in program order:
+    #: (start_pc, end_pc, body_end_id). Used to replay pending body-end
+    #: checkpoints when exit() unwinds the frame stack.
+    body_regions: tuple[tuple[int, int, int], ...] = ()
+
+
+@dataclass
+class BytecodeProgram:
+    """The lowered program: one flat code object per function."""
+
+    program: ast.Program
+    functions: dict[str, BytecodeFunction]
+    #: Globals in declaration order: (symbol, global_index).
+    global_symbols: list[Symbol]
+    #: Code run once at VM startup (tracing off) to initialize globals.
+    globals_init: BytecodeFunction
+
+    @property
+    def instruction_count(self) -> int:
+        total = len(self.globals_init.code)
+        return total + sum(len(fn.code) for fn in self.functions.values())
+
+
+# ---------------------------------------------------------------------------
+# Lowering pass
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _LoopCtx:
+    instrumented: bool
+    body_end_id: int | None
+    break_jumps: list[int]
+    continue_target: int | None  # patched later when None at break/continue
+    continue_jumps: list[int]
+
+
+class _FunctionCompiler:
+    """Lowers one function body to a flat instruction list."""
+
+    def __init__(self, lowering: "ProgramLowering", name: str):
+        self.lowering = lowering
+        self.name = name
+        self.code: list[list] = []
+        self.slot_of: dict[Symbol, int] = {}
+        self.n_locals = 0
+        self.temp_sp = 0
+        self.max_slots = 0
+        self.loop_stack: list[_LoopCtx] = []
+        self.body_regions: list[tuple[int, int, int]] = []
+
+    # -- slot bookkeeping -------------------------------------------------
+
+    def declare_local(self, symbol: Symbol) -> int:
+        slot = self.slot_of.get(symbol)
+        if slot is None:
+            slot = self.n_locals
+            self.slot_of[symbol] = slot
+            self.n_locals += 1
+        return slot
+
+    def seal_locals(self) -> None:
+        self.temp_sp = self.n_locals
+        self.max_slots = max(self.max_slots, self.n_locals)
+
+    def temp(self) -> int:
+        slot = self.temp_sp
+        self.temp_sp += 1
+        if self.temp_sp > self.max_slots:
+            self.max_slots = self.temp_sp
+        return slot
+
+    def mark(self) -> int:
+        return self.temp_sp
+
+    def release(self, mark: int) -> None:
+        self.temp_sp = mark
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, *ins) -> int:
+        self.code.append(list(ins))
+        return len(self.code) - 1
+
+    @property
+    def here(self) -> int:
+        return len(self.code)
+
+    def patch_jump(self, at: int, target: int | None = None) -> None:
+        ins = self.code[at]
+        where = target if target is not None else self.here
+        if ins[0] == OP_JMP:
+            ins[1] = where
+        else:  # OP_JZ / OP_JNZ
+            ins[2] = where
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def compile_function(self, fn: ast.FunctionDef) -> BytecodeFunction:
+        for param in fn.params:
+            assert isinstance(param.symbol, Symbol)
+            self.declare_local(param.symbol)
+        for node in ast.walk(fn.body):
+            if isinstance(node, ast.VarDecl):
+                assert isinstance(node.symbol, Symbol)
+                self.declare_local(node.symbol)
+        self.seal_locals()
+
+        params: list[ParamSpec] = []
+        for param in fn.params:
+            symbol = param.symbol
+            spec = ParamSpec(
+                slot=self.slot_of[symbol],
+                in_memory=symbol.in_memory,
+                ctype=symbol.ctype,
+                conv=0,
+            )
+            if isinstance(symbol.ctype, IntType):
+                spec.conv = 1
+                spec.mask, spec.maxv = _int_conv(symbol.ctype)
+            elif isinstance(symbol.ctype, FloatType):
+                spec.conv = 2
+            elif isinstance(symbol.ctype, PointerType):
+                spec.conv = 3
+            params.append(spec)
+
+        for stmt in fn.body.stmts:
+            self.compile_stmt(stmt)
+        self.emit(OP_RET0)
+
+        return BytecodeFunction(
+            name=fn.name,
+            code=tuple(tuple(ins) for ins in self.code),
+            n_slots=self.max_slots,
+            params=params,
+            returns_void=fn.return_type.is_void,
+            body_regions=tuple(self.body_regions),
+        )
+
+    def compile_stmt(self, stmt: ast.Stmt) -> None:
+        # The tree-walker bumps the step counter once per executed
+        # statement; OP_STEP mirrors that (and carries the budget check).
+        self.emit(OP_STEP, 1)
+        mark = self.mark()
+        if isinstance(stmt, ast.DeclStmt):
+            self._compile_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.compile_expr(stmt.expr)
+        elif isinstance(stmt, ast.EmptyStmt):
+            pass
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                self.compile_stmt(inner)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._compile_do_while(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._compile_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._compile_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self._compile_continue(stmt)
+        else:  # pragma: no cover - defensive
+            raise MiniCRuntimeError(
+                f"cannot lower {type(stmt).__name__}", stmt.location
+            )
+        self.release(mark)
+
+    def _compile_decl(self, stmt: ast.DeclStmt) -> None:
+        for decl in stmt.decls:
+            symbol = decl.symbol
+            assert isinstance(symbol, Symbol)
+            slot = self.slot_of[symbol]
+            if symbol.in_memory:
+                self.emit(OP_DECL, slot, symbol.ctype.size,
+                          symbol.ctype.alignment)
+                if decl.init is not None:
+                    self._compile_init_object(slot, 0, symbol.ctype,
+                                              decl.init, traced=True)
+                else:
+                    # Fresh stack storage starts zeroed (deterministic runs).
+                    self.emit(OP_ZFILL, slot, 0, symbol.ctype.size)
+            else:
+                mark = self.mark()
+                if decl.init is not None:
+                    value = self.compile_expr(decl.init)
+                else:
+                    value = self.temp()
+                    self.emit(OP_CONST, value,
+                              0.0 if symbol.ctype.is_float else 0)
+                self._emit_convert(slot, value, symbol.ctype)
+                self.release(mark)
+
+    def _compile_init_object(self, addr_slot: int, offset: int, ctype: CType,
+                             init: ast.Expr, traced: bool) -> None:
+        """Lower an initializer write (recursively for brace lists).
+
+        Mirrors ``Interpreter._init_object``: traced element stores for
+        local declarations, silent writes for global initialization.
+        """
+        if isinstance(init, ast.Call) and init.name == "__init_list__":
+            if isinstance(ctype, ArrayType):
+                element = ctype.element
+                for index, item in enumerate(init.args[: ctype.length]):
+                    self._compile_init_object(
+                        addr_slot, offset + index * element.size, element,
+                        item, traced)
+                used = min(len(init.args), ctype.length) * element.size
+                if ctype.size - used:
+                    self.emit(OP_ZFILL, addr_slot, offset + used,
+                              ctype.size - used)
+            elif isinstance(ctype, StructType):
+                self.emit(OP_ZFILL, addr_slot, offset, ctype.size)
+                for item, member in zip(init.args, ctype.members):
+                    self._compile_init_object(
+                        addr_slot, offset + member.offset, member.ctype,
+                        item, traced)
+            else:
+                raise MiniCRuntimeError("brace initializer on a scalar",
+                                        init.location)
+            return
+        if isinstance(init, ast.StringLiteral) and isinstance(ctype, ArrayType):
+            data = init.value.encode("latin-1", errors="replace") + b"\0"
+            data = data[: ctype.length].ljust(ctype.length, b"\0")
+            self.emit(OP_WBYTES, addr_slot, offset, bytes(data))
+            return
+        mark = self.mark()
+        value = self.compile_expr(init)
+        pc = store_pc(init.node_id) if traced else -1
+        self._emit_store(addr_slot, offset, value, self.temp(), ctype, pc)
+        self.release(mark)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        mark = self.mark()
+        cond = self.compile_expr(stmt.cond)
+        self.release(mark)
+        jz = self.emit(OP_JZ, cond, -1)
+        self.compile_stmt(stmt.then_stmt)
+        if stmt.else_stmt is not None:
+            jend = self.emit(OP_JMP, -1)
+            self.patch_jump(jz)
+            self.compile_stmt(stmt.else_stmt)
+            self.patch_jump(jend)
+        else:
+            self.patch_jump(jz)
+
+    def _push_loop(self, stmt: ast.Loop) -> _LoopCtx:
+        ctx = _LoopCtx(
+            instrumented=stmt.is_instrumented,
+            body_end_id=stmt.body_end_id,
+            break_jumps=[],
+            continue_target=None,
+            continue_jumps=[],
+        )
+        self.loop_stack.append(ctx)
+        return ctx
+
+    def _compile_loop_body(self, stmt: ast.Loop, ctx: _LoopCtx) -> int:
+        """Body + the normal body-end checkpoint; returns the pc of the
+        body-end point (continue target for for/do loops)."""
+        body_start = self.here
+        self.compile_stmt(stmt.body)
+        body_end_pc = self.here
+        for jump in ctx.continue_jumps:
+            self.patch_jump(jump, body_end_pc)
+        if ctx.instrumented:
+            self.emit(OP_CKPT, stmt.body_end_id, BODY_END_CODE)
+            self.body_regions.append((body_start, body_end_pc,
+                                      stmt.body_end_id))
+        return body_end_pc
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        if stmt.is_instrumented:
+            self.emit(OP_CKPT, stmt.begin_id, 0)
+        if stmt.init is not None:
+            self.compile_stmt(stmt.init)
+        ctx = self._push_loop(stmt)
+        cond_pc = self.here
+        exit_jz = None
+        if stmt.cond is not None:
+            mark = self.mark()
+            cond = self.compile_expr(stmt.cond)
+            self.release(mark)
+            exit_jz = self.emit(OP_JZ, cond, -1)
+        self.emit(OP_STEP, 1)  # per-iteration bump, like the tree-walker
+        if stmt.is_instrumented:
+            self.emit(OP_CKPT, stmt.body_begin_id, 1)
+        self._compile_loop_body(stmt, ctx)
+        if stmt.step is not None:
+            mark = self.mark()
+            self.compile_expr(stmt.step)
+            self.release(mark)
+        self.emit(OP_JMP, cond_pc)
+        if exit_jz is not None:
+            self.patch_jump(exit_jz)
+        for jump in ctx.break_jumps:
+            self.patch_jump(jump)
+        self.loop_stack.pop()
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        if stmt.is_instrumented:
+            self.emit(OP_CKPT, stmt.begin_id, 0)
+        ctx = self._push_loop(stmt)
+        cond_pc = self.here
+        mark = self.mark()
+        cond = self.compile_expr(stmt.cond)
+        self.release(mark)
+        exit_jz = self.emit(OP_JZ, cond, -1)
+        self.emit(OP_STEP, 1)
+        if stmt.is_instrumented:
+            self.emit(OP_CKPT, stmt.body_begin_id, 1)
+        self._compile_loop_body(stmt, ctx)
+        self.emit(OP_JMP, cond_pc)
+        self.patch_jump(exit_jz)
+        for jump in ctx.break_jumps:
+            self.patch_jump(jump)
+        self.loop_stack.pop()
+
+    def _compile_do_while(self, stmt: ast.DoWhile) -> None:
+        if stmt.is_instrumented:
+            self.emit(OP_CKPT, stmt.begin_id, 0)
+        ctx = self._push_loop(stmt)
+        top_pc = self.here
+        self.emit(OP_STEP, 1)
+        if stmt.is_instrumented:
+            self.emit(OP_CKPT, stmt.body_begin_id, 1)
+        self._compile_loop_body(stmt, ctx)
+        mark = self.mark()
+        cond = self.compile_expr(stmt.cond)
+        self.release(mark)
+        self.emit(OP_JNZ, cond, top_pc)
+        for jump in ctx.break_jumps:
+            self.patch_jump(jump)
+        self.loop_stack.pop()
+
+    def _compile_return(self, stmt: ast.Return) -> None:
+        mark = self.mark()
+        value = self.compile_expr(stmt.expr) if stmt.expr is not None else None
+        # A return unwinds through every enclosing loop body; the cleanup
+        # body-end checkpoints fire innermost-first, after the return value
+        # has been evaluated (matching the tree-walker's finally blocks).
+        for ctx in reversed(self.loop_stack):
+            if ctx.instrumented:
+                self.emit(OP_CKPT, ctx.body_end_id, BODY_END_CODE)
+        if value is None:
+            self.emit(OP_RET0)
+        else:
+            self.emit(OP_RET, value)
+        self.release(mark)
+
+    def _compile_break(self, stmt: ast.Break) -> None:
+        if not self.loop_stack:  # pragma: no cover - semantics rejects
+            raise MiniCRuntimeError("break outside loop", stmt.location)
+        ctx = self.loop_stack[-1]
+        if ctx.instrumented:
+            self.emit(OP_CKPT, ctx.body_end_id, BODY_END_CODE)
+        ctx.break_jumps.append(self.emit(OP_JMP, -1))
+
+    def _compile_continue(self, stmt: ast.Continue) -> None:
+        if not self.loop_stack:  # pragma: no cover - semantics rejects
+            raise MiniCRuntimeError("continue outside loop", stmt.location)
+        ctx = self.loop_stack[-1]
+        # Jump to the normal body-end point: the body-end checkpoint fires
+        # there exactly once, then the loop proceeds to step/condition.
+        ctx.continue_jumps.append(self.emit(OP_JMP, -1))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr) -> int:
+        """Lower ``expr``; returns the slot holding its value.
+
+        The returned slot may alias a local variable slot (never a
+        temporary that a later sibling could clobber); callers that
+        evaluate other side-effecting code before consuming the value must
+        go through :meth:`compile_operand`.
+        """
+        if isinstance(expr, ast.IntLiteral):
+            t = self.temp()
+            self.emit(OP_CONST, t, expr.value)
+            return t
+        if isinstance(expr, ast.FloatLiteral):
+            t = self.temp()
+            self.emit(OP_CONST, t, expr.value)
+            return t
+        if isinstance(expr, ast.StringLiteral):
+            t = self.temp()
+            self.emit(OP_STR, t, expr.value)
+            return t
+        if isinstance(expr, ast.Identifier):
+            return self._compile_identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._compile_incdec(expr)
+        if isinstance(expr, ast.Binary):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._compile_assign(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._compile_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.Index):
+            addr = self._compile_element_addr(expr)
+            assert expr.ctype is not None
+            if expr.ctype.is_array or expr.ctype.is_struct:
+                return addr
+            return self._emit_load(addr, 0, expr.ctype, load_pc(expr.node_id))
+        if isinstance(expr, ast.Member):
+            addr = self._compile_member_addr(expr)
+            assert expr.ctype is not None
+            if expr.ctype.is_array or expr.ctype.is_struct:
+                return addr
+            return self._emit_load(addr, 0, expr.ctype, load_pc(expr.node_id))
+        if isinstance(expr, ast.Cast):
+            value = self.compile_expr(expr.operand)
+            t = self.temp()
+            self._emit_convert(t, value, expr.target_type)
+            return t
+        if isinstance(expr, ast.SizeofType):
+            t = self.temp()
+            self.emit(OP_CONST, t, expr.queried_type.size)
+            return t
+        if isinstance(expr, ast.SizeofExpr):
+            assert expr.operand.ctype is not None
+            t = self.temp()
+            self.emit(OP_CONST, t, expr.operand.ctype.size)
+            return t
+        raise MiniCRuntimeError(  # pragma: no cover - defensive
+            f"cannot lower {type(expr).__name__}", expr.location)
+
+    def compile_operand(self, expr: ast.Expr, hazard: bool) -> int:
+        """Like :meth:`compile_expr`, but copies variable aliases to a
+        temporary when a later-evaluated sibling could write registers."""
+        slot = self.compile_expr(expr)
+        if hazard and slot < self.n_locals:
+            t = self.temp()
+            self.emit(OP_MOV, t, slot)
+            return t
+        return slot
+
+    @staticmethod
+    def _writes_registers(expr: ast.Expr) -> bool:
+        """Conservative: does evaluating ``expr`` write any register slot?
+
+        Calls cannot touch the caller's registers, so only assignments and
+        ++/-- anywhere inside the expression matter.
+        """
+        return any(
+            isinstance(node, (ast.Assign, ast.IncDec))
+            for node in ast.walk(expr)
+        )
+
+    # -- identifiers, lvalues, addresses -------------------------------------
+
+    def _compile_identifier(self, expr: ast.Identifier) -> int:
+        symbol = expr.symbol
+        assert isinstance(symbol, Symbol)
+        if not symbol.in_memory:
+            return self.slot_of[symbol]
+        addr = self._compile_symbol_addr(symbol)
+        if symbol.ctype.is_array or symbol.ctype.is_struct:
+            return addr  # aggregates evaluate to their address (decay)
+        return self._emit_load(addr, 0, symbol.ctype, load_pc(expr.node_id))
+
+    def _compile_symbol_addr(self, symbol: Symbol) -> int:
+        if symbol.storage == "global":
+            t = self.temp()
+            self.emit(OP_GADDR, t, self.lowering.global_index[symbol])
+            return t
+        slot = self.slot_of.get(symbol)
+        if slot is None:  # pragma: no cover - semantics guarantees storage
+            raise MiniCRuntimeError(f"variable {symbol.name!r} has no storage")
+        return slot  # the slot holds the stack address assigned by OP_DECL
+
+    def _compile_element_addr(self, expr: ast.Index) -> int:
+        base = self.compile_operand(
+            expr.base, hazard=self._writes_registers(expr.index))
+        index = self.compile_expr(expr.index)
+        assert expr.ctype is not None
+        t = self.temp()
+        self.emit(OP_ELEM, t, base, index, expr.ctype.size)
+        return t
+
+    def _compile_member_addr(self, expr: ast.Member) -> int:
+        base = self.compile_expr(expr.base)
+        base_type = expr.base.ctype
+        assert base_type is not None
+        if expr.is_arrow:
+            struct = decay(base_type).pointee  # type: ignore[attr-defined]
+        else:
+            struct = base_type
+        assert isinstance(struct, StructType)
+        t = self.temp()
+        self.emit(OP_MEMBOFF, t, base, struct.member(expr.name).offset)
+        return t
+
+    def _compile_lvalue(self, expr: ast.Expr) -> tuple[str, int]:
+        """("r", var_slot) for register variables or ("m", addr_slot)."""
+        if isinstance(expr, ast.Identifier):
+            symbol = expr.symbol
+            assert isinstance(symbol, Symbol)
+            if not symbol.in_memory:
+                return ("r", self.slot_of[symbol])
+            return ("m", self._compile_symbol_addr(symbol))
+        if isinstance(expr, ast.Index):
+            return ("m", self._compile_element_addr(expr))
+        if isinstance(expr, ast.Member):
+            return ("m", self._compile_member_addr(expr))
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            operand = self.compile_expr(expr.operand)
+            t = self.temp()
+            self.emit(OP_MEMBOFF, t, operand, 0)  # masks the address
+            return ("m", t)
+        raise MiniCRuntimeError("expression is not an lvalue", expr.location)
+
+    # -- loads, stores, conversions ------------------------------------------
+
+    def _emit_load(self, addr_slot: int, offset: int, ctype: CType,
+                   pc: int) -> int:
+        t = self.temp()
+        if isinstance(ctype, IntType):
+            self.emit(OP_LOAD_I, t, addr_slot, offset, ctype.size,
+                      _INT_LOAD_FMT[(ctype.size, ctype.signed)],
+                      ctype.signed, pc)
+        elif isinstance(ctype, FloatType):
+            self.emit(OP_LOAD_F, t, addr_slot, offset, ctype.size,
+                      _FLOAT_FMT[ctype.size], pc)
+        elif isinstance(ctype, PointerType):
+            self.emit(OP_LOAD_I, t, addr_slot, offset, ctype.size,
+                      _INT_LOAD_FMT[(ctype.size, False)], False, pc)
+        else:
+            raise MiniCRuntimeError(f"cannot load a value of type {ctype}")
+        return t
+
+    def _emit_store(self, addr_slot: int, offset: int, src: int, dst: int,
+                    ctype: CType, pc: int) -> int:
+        """Convert + write + trace; ``dst`` receives the converted value
+        (the value of the assignment expression). ``pc < 0`` disables the
+        trace record (global initialization)."""
+        if isinstance(ctype, IntType):
+            mask, maxv = _int_conv(ctype)
+            self.emit(OP_STORE_I, addr_slot, offset, src, dst, ctype.size,
+                      mask, maxv, _INT_STORE_FMT[ctype.size], pc)
+        elif isinstance(ctype, FloatType):
+            self.emit(OP_STORE_F, addr_slot, offset, src, dst, ctype.size,
+                      _FLOAT_FMT[ctype.size], pc)
+        elif isinstance(ctype, PointerType):
+            self.emit(OP_STORE_P, addr_slot, offset, src, dst, pc)
+        else:
+            raise MiniCRuntimeError(f"cannot store a value of type {ctype}")
+        return dst
+
+    def _emit_convert(self, dst: int, src: int, ctype: CType) -> None:
+        if isinstance(ctype, IntType):
+            mask, maxv = _int_conv(ctype)
+            self.emit(OP_CONV_I, dst, src, mask, maxv)
+        elif isinstance(ctype, FloatType):
+            self.emit(OP_CONV_F, dst, src)
+        elif isinstance(ctype, PointerType):
+            self.emit(OP_CONV_P, dst, src)
+        elif dst != src:
+            self.emit(OP_MOV, dst, src)
+
+    # -- operators ---------------------------------------------------------
+
+    def _compile_unary(self, expr: ast.Unary) -> int:
+        op = expr.op
+        if op == "*":
+            operand = self.compile_expr(expr.operand)
+            assert expr.ctype is not None
+            if expr.ctype.is_array or expr.ctype.is_struct:
+                t = self.temp()
+                self.emit(OP_MEMBOFF, t, operand, 0)
+                return t
+            return self._emit_load(operand, 0, expr.ctype,
+                                   load_pc(expr.node_id))
+        if op == "&":
+            kind, ref = self._compile_lvalue(expr.operand)
+            if kind == "r":  # pragma: no cover - semantics forces memory
+                raise MiniCRuntimeError("address of a register variable",
+                                        expr.location)
+            return ref
+        value = self.compile_expr(expr.operand)
+        t = self.temp()
+        if op == "-":
+            if isinstance(expr.ctype, FloatType):
+                self.emit(OP_NEG_F, t, value)
+            else:
+                assert isinstance(expr.ctype, IntType)
+                mask, maxv = _int_conv(expr.ctype)
+                self.emit(OP_NEG_I, t, value, mask, maxv)
+        elif op == "+":
+            return value  # no conversion, like the tree-walker
+        elif op == "!":
+            self.emit(OP_NOT, t, value)
+        elif op == "~":
+            assert isinstance(expr.ctype, IntType)
+            mask, maxv = _int_conv(expr.ctype)
+            self.emit(OP_BNOT, t, value, mask, maxv)
+        else:  # pragma: no cover - parser limits the operator set
+            raise MiniCRuntimeError(f"unknown unary {op!r}", expr.location)
+        return t
+
+    def _compile_incdec(self, expr: ast.IncDec) -> int:
+        ctype = expr.operand.ctype
+        assert ctype is not None
+        step = 1
+        if isinstance(ctype, PointerType):
+            step = max(1, ctype.pointee.size)
+        if expr.op == "--":
+            step = -step
+        kind, ref = self._compile_lvalue(expr.operand)
+        if kind == "r":
+            result = None
+            if expr.is_postfix:
+                result = self.temp()
+                self.emit(OP_MOV, result, ref)
+            self._emit_addk(ref, ref, step, ctype)
+            return result if result is not None else ref
+        old = self._emit_load(ref, 0, ctype, load_pc(expr.operand.node_id))
+        new = self.temp()
+        self._emit_addk(new, old, step, ctype)
+        converted = self._emit_store(ref, 0, new, self.temp(), ctype,
+                                     store_pc(expr.operand.node_id))
+        return old if expr.is_postfix else converted
+
+    def _emit_addk(self, dst: int, src: int, imm: int, ctype: CType) -> None:
+        if isinstance(ctype, PointerType):
+            self.emit(OP_ADDK_P, dst, src, imm)
+        elif isinstance(ctype, FloatType):
+            self.emit(OP_ADDK_F, dst, src, imm)
+        else:
+            assert isinstance(ctype, IntType)
+            mask, maxv = _int_conv(ctype)
+            self.emit(OP_ADDK_I, dst, src, imm, mask, maxv)
+
+    _COMPARE_OPS = {"==": OP_EQ, "!=": OP_NE, "<": OP_LT, ">": OP_GT,
+                    "<=": OP_LE, ">=": OP_GE}
+
+    def _compile_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._compile_logical(expr)
+        left = self.compile_operand(
+            expr.left, hazard=self._writes_registers(expr.right))
+        right = self.compile_expr(expr.right)
+        t = self.temp()
+        cmp_op = self._COMPARE_OPS.get(op)
+        if cmp_op is not None:
+            self.emit(cmp_op, t, left, right)
+            return t
+        self._emit_binop(t, op, left, right, expr.left.ctype,
+                         expr.right.ctype, expr.ctype, expr.location)
+        return t
+
+    def _emit_binop(self, dst: int, op: str, left: int, right: int,
+                    left_ctype, right_ctype, result_ctype,
+                    location) -> None:
+        """Arithmetic lowering shared by binary operators and compound
+        assignment (where ``result_ctype`` is the lvalue's type)."""
+        left_type = decay(left_ctype)
+        right_type = decay(right_ctype)
+        if op == "+":
+            if left_type.is_pointer:
+                self.emit(OP_ADD_P, dst, left, right, left_type.pointee.size)
+            elif right_type.is_pointer:
+                self.emit(OP_ADD_P, dst, right, left, right_type.pointee.size)
+            elif isinstance(result_ctype, FloatType):
+                self.emit(OP_ADD_F, dst, left, right)
+            else:
+                assert isinstance(result_ctype, IntType)
+                self.emit(OP_ADD_I, dst, left, right, *_int_conv(result_ctype))
+            return
+        if op == "-":
+            if left_type.is_pointer and right_type.is_pointer:
+                self.emit(OP_SUB_PP, dst, left, right,
+                          left_type.pointee.size)
+            elif left_type.is_pointer:
+                self.emit(OP_SUB_PI, dst, left, right,
+                          left_type.pointee.size)
+            elif isinstance(result_ctype, FloatType):
+                self.emit(OP_SUB_F, dst, left, right)
+            else:
+                assert isinstance(result_ctype, IntType)
+                self.emit(OP_SUB_I, dst, left, right, *_int_conv(result_ctype))
+            return
+        if op == "*":
+            if isinstance(result_ctype, FloatType):
+                self.emit(OP_MUL_F, dst, left, right)
+            else:
+                assert isinstance(result_ctype, IntType)
+                self.emit(OP_MUL_I, dst, left, right, *_int_conv(result_ctype))
+            return
+        if op == "/":
+            if isinstance(result_ctype, FloatType):
+                self.emit(OP_DIV_F, dst, left, right, location)
+            else:
+                assert isinstance(result_ctype, IntType)
+                mask, maxv = _int_conv(result_ctype)
+                self.emit(OP_DIV_I, dst, left, right, mask, maxv, location)
+            return
+        simple = {"%": OP_MOD_I, "<<": OP_SHL, ">>": OP_SHR,
+                  "&": OP_AND, "|": OP_OR, "^": OP_XOR}.get(op)
+        if simple is None:  # pragma: no cover - parser limits the set
+            raise MiniCRuntimeError(f"unknown binary {op!r}", location)
+        assert isinstance(result_ctype, IntType)
+        mask, maxv = _int_conv(result_ctype)
+        if simple == OP_MOD_I:
+            self.emit(OP_MOD_I, dst, left, right, mask, maxv, location)
+        else:
+            self.emit(simple, dst, left, right, mask, maxv)
+
+    def _compile_logical(self, expr: ast.Binary) -> int:
+        dst = self.temp()
+        mark = self.mark()
+        left = self.compile_expr(expr.left)
+        if expr.op == "&&":
+            self.emit(OP_CONST, dst, 0)
+            short = self.emit(OP_JZ, left, -1)
+        else:
+            self.emit(OP_CONST, dst, 1)
+            short = self.emit(OP_JNZ, left, -1)
+        self.release(mark)
+        mark = self.mark()
+        right = self.compile_expr(expr.right)
+        self.release(mark)
+        self.emit(OP_NOT, dst, right)  # dst = !right
+        self.emit(OP_NOT, dst, dst)   # dst = !!right  (0/1 of truthiness)
+        self.patch_jump(short)
+        return dst
+
+    def _compile_assign(self, expr: ast.Assign) -> int:
+        target_type = expr.target.ctype
+        assert target_type is not None
+        kind, ref = self._compile_lvalue(expr.target)
+        if expr.op == "":
+            value = self.compile_expr(expr.value)
+            if kind == "r":
+                self._emit_convert(ref, value, target_type)
+                return ref
+            return self._emit_store(ref, 0, value, self.temp(), target_type,
+                                    store_pc(expr.target.node_id))
+        # Compound: read old, apply, write back. Intermediate wrapping with
+        # the lvalue's own type is idempotent with the write conversion, so
+        # the specialized opcodes reproduce the tree-walker's raw-then-
+        # convert semantics exactly.
+        if kind == "r":
+            old = self.compile_operand(
+                expr.target, hazard=self._writes_registers(expr.value))
+        else:
+            old = self._emit_load(ref, 0, target_type,
+                                  load_pc(expr.target.node_id))
+        rhs = self.compile_expr(expr.value)
+        t = self.temp()
+        self._emit_compound(t, expr.op, old, rhs, target_type, expr.location)
+        if kind == "r":
+            self._emit_convert(ref, t, target_type)
+            return ref
+        return self._emit_store(ref, 0, t, self.temp(), target_type,
+                                store_pc(expr.target.node_id))
+
+    def _compile_ternary(self, expr: ast.Ternary) -> int:
+        dst = self.temp()
+        mark = self.mark()
+        cond = self.compile_expr(expr.cond)
+        self.release(mark)
+        jz = self.emit(OP_JZ, cond, -1)
+        mark = self.mark()
+        then_value = self.compile_expr(expr.then_expr)
+        self.emit(OP_MOV, dst, then_value)
+        self.release(mark)
+        jend = self.emit(OP_JMP, -1)
+        self.patch_jump(jz)
+        mark = self.mark()
+        else_value = self.compile_expr(expr.else_expr)
+        self.emit(OP_MOV, dst, else_value)
+        self.release(mark)
+        self.patch_jump(jend)
+        return dst
+
+    def _emit_compound(self, dst: int, op: str, old: int, rhs: int,
+                       target_type: CType, location) -> None:
+        if isinstance(target_type, PointerType) and op in ("+", "-"):
+            if op == "+":
+                self.emit(OP_ADD_P, dst, old, rhs, target_type.pointee.size)
+            else:
+                self.emit(OP_SUB_PI, dst, old, rhs, target_type.pointee.size)
+            return
+        self._emit_binop(dst, op, old, rhs, target_type, target_type,
+                         target_type, location)
+
+    def _compile_call(self, expr: ast.Call) -> int:
+        arg_slots = []
+        for index, arg in enumerate(expr.args):
+            hazard = any(self._writes_registers(later)
+                         for later in expr.args[index + 1:])
+            arg_slots.append(self.compile_operand(arg, hazard))
+        dst = self.temp()
+        if expr.is_builtin:
+            self.emit(OP_CALLB, dst, expr.name, tuple(arg_slots))
+        else:
+            self.emit(OP_CALL, dst, expr.name, tuple(arg_slots))
+        return dst
+
+
+class ProgramLowering:
+    """Compiles an analyzed program into a :class:`BytecodeProgram`."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.global_index: dict[Symbol, int] = {}
+        self.global_symbols: list[Symbol] = []
+
+    def lower(self) -> BytecodeProgram:
+        for decl_stmt in self.program.globals:
+            for decl in decl_stmt.decls:
+                symbol = decl.symbol
+                assert isinstance(symbol, Symbol)
+                self.global_index[symbol] = len(self.global_symbols)
+                self.global_symbols.append(symbol)
+
+        functions = {
+            fn.name: _FunctionCompiler(self, fn.name).compile_function(fn)
+            for fn in self.program.functions
+        }
+        return BytecodeProgram(
+            program=self.program,
+            functions=functions,
+            global_symbols=self.global_symbols,
+            globals_init=self._lower_globals_init(),
+        )
+
+    def _lower_globals_init(self) -> BytecodeFunction:
+        """Initializer writes for all globals, in declaration order.
+
+        Runs at VM startup with tracing off — like program load in a real
+        system — after every global has its address (so ``char *p = q;``
+        can reference a later-declared array).
+        """
+        compiler = _FunctionCompiler(self, "__globals_init__")
+        compiler.seal_locals()
+        for decl_stmt in self.program.globals:
+            for decl in decl_stmt.decls:
+                if decl.init is None:
+                    continue
+                symbol = decl.symbol
+                mark = compiler.mark()
+                addr = compiler.temp()
+                compiler.emit(OP_GADDR, addr, self.global_index[symbol])
+                compiler._compile_init_object(addr, 0, symbol.ctype,
+                                              decl.init, traced=False)
+                compiler.release(mark)
+        compiler.emit(OP_RET0)
+        return BytecodeFunction(
+            name="__globals_init__",
+            code=tuple(tuple(ins) for ins in compiler.code),
+            n_slots=compiler.max_slots,
+            returns_void=True,
+        )
+
+
+def lower_program(program: ast.Program) -> BytecodeProgram:
+    """Lower an analyzed (and optionally instrumented) program."""
+    return ProgramLowering(program).lower()
+
+
+# ---------------------------------------------------------------------------
+# The virtual machine
+# ---------------------------------------------------------------------------
+
+
+class BytecodeVM:
+    """Executes one lowered program. Create a fresh instance per run.
+
+    Exposes the same builtin facade as the tree-walking interpreter
+    (``write_stdout`` / ``heap_alloc`` / ``lib_load`` / ``lib_store`` plus
+    the deterministic ``rand_state`` / ``input_state``), so
+    :mod:`repro.sim.builtins` runs unchanged on both engines.
+    """
+
+    def __init__(
+        self,
+        bytecode: BytecodeProgram,
+        sinks: tuple[TraceSink, ...] = (),
+        max_steps: int = 200_000_000,
+        max_call_depth: int = 512,
+        trace_block_size: int = DEFAULT_TRACE_BLOCK,
+    ):
+        self.bytecode = bytecode
+        self.program = bytecode.program
+        self._sinks = tuple(sinks)
+        self._max_steps = max_steps
+        self._max_call_depth = max_call_depth
+        self._block_size = max(1, trace_block_size)
+
+        self.memory = Memory()
+        self._globals_alloc = BumpAllocator(GLOBAL_BASE)
+        self._heap_alloc = BumpAllocator(HEAP_BASE)
+        self._stack = StackAllocator()
+        self._string_pool: dict[str, int] = {}
+        self._global_addrs: list[int] = []
+        self._tracing = False
+        self.stats = RunStats()
+        self.stdout = ""
+        self.rand_state = 1  # deterministic rand() seed
+        self.input_state = 20050307  # deterministic read_samples() stream
+
+        self._acc_buf: list[tuple[int, int, int, bool]] = []
+        self._cp_buf: list[tuple[int, int, int]] = []
+
+        self._layout_globals()
+
+    # ------------------------------------------------------------------
+    # Builtin facade (used by repro.sim.builtins)
+    # ------------------------------------------------------------------
+
+    def write_stdout(self, text: str) -> None:
+        self.stdout += text
+
+    def heap_alloc(self, size: int) -> int:
+        return self._heap_alloc.allocate(max(1, size))
+
+    def lib_load(self, builtin: str, addr: int, size: int) -> int:
+        value = self.memory.read_int(addr, size, signed=False)
+        if self._tracing:
+            pc = LIB_PC_BASE + 8 * libc.BUILTIN_INDEX[builtin]
+            self._trace_access(pc, addr, size, False)
+        return value
+
+    def lib_store(self, builtin: str, addr: int, value: int, size: int) -> None:
+        self.memory.write_int(addr, value, size)
+        if self._tracing:
+            pc = LIB_PC_BASE + 8 * libc.BUILTIN_INDEX[builtin] + 4
+            self._trace_access(pc, addr, size, True)
+
+    # ------------------------------------------------------------------
+    # Trace plumbing
+    # ------------------------------------------------------------------
+
+    def _trace_access(self, pc: int, addr: int, size: int,
+                      is_write: bool) -> None:
+        self._acc_buf.append((pc, addr, size, is_write))
+        if len(self._acc_buf) >= self._block_size:
+            self._flush_trace()
+
+    def _trace_checkpoint(self, checkpoint_id: int, kind_code: int) -> None:
+        self._cp_buf.append((len(self._acc_buf), checkpoint_id, kind_code))
+
+    def _flush_trace(self) -> None:
+        if not self._acc_buf and not self._cp_buf:
+            return
+        accesses, checkpoints = self._acc_buf, self._cp_buf
+        self._acc_buf, self._cp_buf = [], []
+        self.stats.accesses += len(accesses)
+        self.stats.checkpoints += len(checkpoints)
+        for sink in self._sinks:
+            sink.emit_block(accesses, checkpoints)
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def _intern_string(self, text: str) -> int:
+        addr = self._string_pool.get(text)
+        if addr is None:
+            data = text.encode("latin-1", errors="replace") + b"\0"
+            addr = self._globals_alloc.allocate(len(data), 1)
+            self.memory.write_bytes(addr, data)
+            self._string_pool[text] = addr
+        return addr
+
+    def _layout_globals(self) -> None:
+        for symbol in self.bytecode.global_symbols:
+            self._global_addrs.append(
+                self._globals_alloc.allocate(symbol.ctype.size,
+                                             symbol.ctype.alignment)
+            )
+        init = self.bytecode.globals_init
+        if len(init.code) > 1:  # more than the trailing RET0
+            self._execute(init, [], budget_active=False)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "main") -> int:
+        """Execute ``entry`` (tracing enabled) and return its exit code."""
+        fn = self.bytecode.functions.get(entry)
+        if fn is None:
+            raise MiniCRuntimeError(f"no entry function {entry!r}")
+        self._tracing = True
+        try:
+            result = self._execute(fn, [], budget_active=True)
+        except ExitSignal as signal:
+            return signal.code
+        finally:
+            self._tracing = False
+            self._flush_trace()
+        return int(result) if result is not None else 0
+
+    def _bind_frame(self, fn: BytecodeFunction, args: list) -> tuple[list, int]:
+        """Build the register file for ``fn`` and bind converted args."""
+        regs = [0] * fn.n_slots
+        marker = self._stack.push_frame()
+        memory = self.memory
+        for spec, arg in zip(fn.params, args):
+            conv = spec.conv
+            if conv == 1:
+                mask = spec.mask
+                value = int(arg) & mask
+                if spec.maxv >= 0 and value > spec.maxv:
+                    value -= mask + 1
+            elif conv == 2:
+                value = float(arg)
+            elif conv == 3:
+                value = int(arg) & _ADDR_MASK
+            else:
+                value = arg
+            if spec.in_memory:
+                ctype = spec.ctype
+                addr = self._stack.allocate(ctype.size, ctype.alignment)
+                regs[spec.slot] = addr
+                if isinstance(ctype, FloatType):
+                    memory.write_float(addr, float(value), ctype.size)
+                elif isinstance(ctype, (IntType, PointerType)):
+                    memory.write_int(addr, int(value), ctype.size)
+                else:
+                    raise MiniCRuntimeError(
+                        f"cannot store a value of type {ctype}")
+            else:
+                regs[spec.slot] = value
+        return regs, marker
+
+    def _execute(self, fn: BytecodeFunction, args: list,
+                 budget_active: bool) -> object:
+        """The dispatch loop. Runs ``fn`` and every function it calls."""
+        memory = self.memory
+        stack = self._stack
+        pages = memory._pages
+        mem_page = memory._page
+        unpack = _UNPACK
+        pack = _PACK
+        acc_append = self._acc_buf.append
+        mask32 = _ADDR_MASK
+        max_steps = self._max_steps
+        steps = self.stats.steps
+        if not budget_active:
+            max_steps = float("inf")
+
+        regs, marker = self._bind_frame(fn, args)
+        # Caller frames: (function, code, resume_pc, regs, dst, stack_marker).
+        frames: list[tuple] = []
+        if budget_active:  # globals init is not a simulated call
+            self.stats.calls += 1
+        code = fn.code
+        pc = 0
+
+        try:
+            while True:
+                ins = code[pc]
+                op = ins[0]
+                if op <= OP_CKPT:
+                    if op == OP_LOAD_I:
+                        addr = (regs[ins[2]] + ins[3]) & mask32
+                        size = ins[4]
+                        start = addr & _PAGE_MASK
+                        if start + size <= _PAGE_SIZE:
+                            page = pages.get(addr >> _PAGE_SHIFT)
+                            if page is None:
+                                page = mem_page(addr >> _PAGE_SHIFT)
+                            regs[ins[1]] = unpack[ins[5]](page, start)[0]
+                        else:  # page-crossing (unaligned) access
+                            regs[ins[1]] = memory.read_int(addr, size, ins[6])
+                        if self._tracing:
+                            acc_append((ins[7], addr, size, False))
+                            if len(self._acc_buf) >= self._block_size:
+                                self._flush_trace()
+                                acc_append = self._acc_buf.append
+                    elif op == OP_ELEM:
+                        regs[ins[1]] = (
+                            regs[ins[2]] + int(regs[ins[3]]) * ins[4]
+                        ) & mask32
+                    elif op == OP_STORE_I:
+                        addr = (regs[ins[1]] + ins[2]) & mask32
+                        value = int(regs[ins[3]]) & ins[6]
+                        size = ins[5]
+                        start = addr & _PAGE_MASK
+                        if start + size <= _PAGE_SIZE:
+                            page = pages.get(addr >> _PAGE_SHIFT)
+                            if page is None:
+                                page = mem_page(addr >> _PAGE_SHIFT)
+                            pack[ins[8]](page, start, value)
+                        else:
+                            memory.write_int(addr, value, size)
+                        if ins[7] >= 0 and value > ins[7]:
+                            value -= ins[6] + 1
+                        regs[ins[4]] = value
+                        if self._tracing and ins[9] >= 0:
+                            acc_append((ins[9], addr, size, True))
+                            if len(self._acc_buf) >= self._block_size:
+                                self._flush_trace()
+                                acc_append = self._acc_buf.append
+                    elif op == OP_STEP:
+                        steps += ins[1]
+                        if steps > max_steps:
+                            raise ExecLimitExceeded(
+                                f"execution exceeded the budget of "
+                                f"{self._max_steps} steps"
+                            )
+                    elif op == OP_ADDK_I:
+                        value = (regs[ins[2]] + ins[3]) & ins[4]
+                        if ins[5] >= 0 and value > ins[5]:
+                            value -= ins[4] + 1
+                        regs[ins[1]] = value
+                    elif op == OP_LT:
+                        regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+                    elif op == OP_JZ:
+                        if not regs[ins[1]]:
+                            pc = ins[2]
+                            continue
+                    elif op == OP_JMP:
+                        pc = ins[1]
+                        continue
+                    elif op == OP_ADD_I:
+                        value = (regs[ins[2]] + regs[ins[3]]) & ins[4]
+                        if ins[5] >= 0 and value > ins[5]:
+                            value -= ins[4] + 1
+                        regs[ins[1]] = value
+                    elif op == OP_CKPT:
+                        if self._tracing:
+                            self._cp_buf.append(
+                                (len(self._acc_buf), ins[1], ins[2]))
+                            # Access-free loops must still flush in blocks.
+                            if len(self._cp_buf) >= self._block_size:
+                                self._flush_trace()
+                                acc_append = self._acc_buf.append
+                    elif op == OP_CONST:
+                        regs[ins[1]] = ins[2]
+                    elif op == OP_MOV:
+                        regs[ins[1]] = regs[ins[2]]
+                    elif op == OP_MEMBOFF:
+                        regs[ins[1]] = (regs[ins[2]] + ins[3]) & mask32
+                    elif op == OP_SUB_I:
+                        value = (regs[ins[2]] - regs[ins[3]]) & ins[4]
+                        if ins[5] >= 0 and value > ins[5]:
+                            value -= ins[4] + 1
+                        regs[ins[1]] = value
+                    elif op == OP_MUL_I:
+                        value = (regs[ins[2]] * regs[ins[3]]) & ins[4]
+                        if ins[5] >= 0 and value > ins[5]:
+                            value -= ins[4] + 1
+                        regs[ins[1]] = value
+                    elif op == OP_LOAD_F:
+                        addr = (regs[ins[2]] + ins[3]) & mask32
+                        size = ins[4]
+                        start = addr & _PAGE_MASK
+                        if start + size <= _PAGE_SIZE:
+                            page = pages.get(addr >> _PAGE_SHIFT)
+                            if page is None:
+                                page = mem_page(addr >> _PAGE_SHIFT)
+                            regs[ins[1]] = unpack[ins[5]](page, start)[0]
+                        else:
+                            regs[ins[1]] = memory.read_float(addr, size)
+                        if self._tracing:
+                            acc_append((ins[6], addr, size, False))
+                            if len(self._acc_buf) >= self._block_size:
+                                self._flush_trace()
+                                acc_append = self._acc_buf.append
+                    elif op == OP_STORE_F:
+                        addr = (regs[ins[1]] + ins[2]) & mask32
+                        value = float(regs[ins[3]])
+                        size = ins[5]
+                        start = addr & _PAGE_MASK
+                        if start + size <= _PAGE_SIZE:
+                            page = pages.get(addr >> _PAGE_SHIFT)
+                            if page is None:
+                                page = mem_page(addr >> _PAGE_SHIFT)
+                            try:
+                                pack[ins[6]](page, start, value)
+                            except OverflowError:
+                                # double → float overflow clamps to ±inf
+                                memory.write_float(addr, value, size)
+                        else:
+                            memory.write_float(addr, value, size)
+                        regs[ins[4]] = value
+                        if self._tracing and ins[7] >= 0:
+                            acc_append((ins[7], addr, size, True))
+                            if len(self._acc_buf) >= self._block_size:
+                                self._flush_trace()
+                                acc_append = self._acc_buf.append
+                    elif op == OP_STORE_P:
+                        addr = (regs[ins[1]] + ins[2]) & mask32
+                        value = int(regs[ins[3]]) & mask32
+                        start = addr & _PAGE_MASK
+                        if start + 4 <= _PAGE_SIZE:
+                            page = pages.get(addr >> _PAGE_SHIFT)
+                            if page is None:
+                                page = mem_page(addr >> _PAGE_SHIFT)
+                            pack["<I"](page, start, value)
+                        else:
+                            memory.write_int(addr, value, 4)
+                        regs[ins[4]] = value
+                        if self._tracing and ins[5] >= 0:
+                            acc_append((ins[5], addr, 4, True))
+                            if len(self._acc_buf) >= self._block_size:
+                                self._flush_trace()
+                                acc_append = self._acc_buf.append
+                    elif op == OP_LE:
+                        regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+                    elif op == OP_GT:
+                        regs[ins[1]] = 1 if regs[ins[2]] > regs[ins[3]] else 0
+                    elif op == OP_GE:
+                        regs[ins[1]] = 1 if regs[ins[2]] >= regs[ins[3]] else 0
+                    elif op == OP_EQ:
+                        regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+                    elif op == OP_NE:
+                        regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+                    else:  # OP_JNZ
+                        if regs[ins[1]]:
+                            pc = ins[2]
+                            continue
+                elif op == OP_CALL:
+                    callee = self.bytecode.functions[ins[2]]
+                    if len(frames) + 1 >= self._max_call_depth:
+                        raise MiniCRuntimeError(
+                            f"call depth exceeded in {callee.name!r}")
+                    self.stats.calls += 1
+                    call_args = [regs[slot] for slot in ins[3]]
+                    frames.append((fn, code, pc, regs, ins[1], marker))
+                    fn = callee
+                    regs, marker = self._bind_frame(callee, call_args)
+                    code = callee.code
+                    pc = 0
+                    continue
+                elif op == OP_CALLB:
+                    call_args = [regs[slot] for slot in ins[3]]
+                    regs[ins[1]] = libc.call_builtin(self, ins[2], call_args)
+                    # A builtin's lib_load/lib_store may have flushed the
+                    # block buffer; re-bind the cached append.
+                    acc_append = self._acc_buf.append
+                elif op == OP_RET or op == OP_RET0:
+                    result = regs[ins[1]] if op == OP_RET else None
+                    if result is None and not fn.returns_void:
+                        result = 0  # tolerate missing return, like C
+                    stack.pop_frame(marker)
+                    if not frames:
+                        return result
+                    fn, code, pc, regs, dst, marker = frames.pop()
+                    regs[dst] = result
+                elif op == OP_ADD_P:
+                    regs[ins[1]] = (
+                        regs[ins[2]] + int(regs[ins[3]]) * ins[4]
+                    ) & mask32
+                elif op == OP_ADDK_P:
+                    regs[ins[1]] = (regs[ins[2]] + ins[3]) & mask32
+                elif op == OP_ADD_F:
+                    regs[ins[1]] = float(regs[ins[2]] + regs[ins[3]])
+                elif op == OP_SUB_F:
+                    regs[ins[1]] = float(regs[ins[2]] - regs[ins[3]])
+                elif op == OP_MUL_F:
+                    regs[ins[1]] = float(regs[ins[2]] * regs[ins[3]])
+                elif op == OP_DIV_F:
+                    if regs[ins[3]] == 0:
+                        raise MiniCRuntimeError("floating division by zero",
+                                                ins[4])
+                    regs[ins[1]] = regs[ins[2]] / regs[ins[3]]
+                elif op == OP_DIV_I:
+                    b = int(regs[ins[3]])
+                    if b == 0:
+                        raise MiniCRuntimeError("integer division by zero",
+                                                ins[6])
+                    value = _c_div(int(regs[ins[2]]), b) & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_MOD_I:
+                    a, b = int(regs[ins[2]]), int(regs[ins[3]])
+                    if b == 0:
+                        raise MiniCRuntimeError("modulo by zero", ins[6])
+                    value = (a - _c_div(a, b) * b) & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_SHL:
+                    value = (int(regs[ins[2]]) << (int(regs[ins[3]]) & 63)) \
+                        & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_SHR:
+                    value = (int(regs[ins[2]]) >> (int(regs[ins[3]]) & 63)) \
+                        & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_AND:
+                    value = (int(regs[ins[2]]) & int(regs[ins[3]])) & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_OR:
+                    value = (int(regs[ins[2]]) | int(regs[ins[3]])) & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_XOR:
+                    value = (int(regs[ins[2]]) ^ int(regs[ins[3]])) & ins[4]
+                    if ins[5] >= 0 and value > ins[5]:
+                        value -= ins[4] + 1
+                    regs[ins[1]] = value
+                elif op == OP_SUB_PI:
+                    regs[ins[1]] = (
+                        regs[ins[2]] - int(regs[ins[3]]) * ins[4]
+                    ) & mask32
+                elif op == OP_SUB_PP:
+                    regs[ins[1]] = _c_div(
+                        int(regs[ins[2]]) - int(regs[ins[3]]), ins[4])
+                elif op == OP_ADDK_F:
+                    regs[ins[1]] = float(regs[ins[2]] + ins[3])
+                elif op == OP_NEG_I:
+                    value = (-regs[ins[2]]) & ins[3]
+                    if ins[4] >= 0 and value > ins[4]:
+                        value -= ins[3] + 1
+                    regs[ins[1]] = value
+                elif op == OP_NEG_F:
+                    regs[ins[1]] = float(-regs[ins[2]])
+                elif op == OP_NOT:
+                    regs[ins[1]] = 0 if regs[ins[2]] else 1
+                elif op == OP_BNOT:
+                    value = (~int(regs[ins[2]])) & ins[3]
+                    if ins[4] >= 0 and value > ins[4]:
+                        value -= ins[3] + 1
+                    regs[ins[1]] = value
+                elif op == OP_CONV_I:
+                    value = int(regs[ins[2]]) & ins[3]
+                    if ins[4] >= 0 and value > ins[4]:
+                        value -= ins[3] + 1
+                    regs[ins[1]] = value
+                elif op == OP_CONV_F:
+                    regs[ins[1]] = float(regs[ins[2]])
+                elif op == OP_CONV_P:
+                    regs[ins[1]] = int(regs[ins[2]]) & mask32
+                elif op == OP_DECL:
+                    regs[ins[1]] = stack.allocate(ins[2], ins[3])
+                elif op == OP_ZFILL:
+                    memory.write_bytes((regs[ins[1]] + ins[2]) & mask32,
+                                       bytes(ins[3]))
+                elif op == OP_WBYTES:
+                    memory.write_bytes((regs[ins[1]] + ins[2]) & mask32,
+                                       ins[3])
+                elif op == OP_STR:
+                    regs[ins[1]] = self._intern_string(ins[2])
+                else:  # OP_GADDR
+                    regs[ins[1]] = self._global_addrs[ins[2]]
+                pc += 1
+        except ExitSignal:
+            # exit() unwinds every frame; replay the pending body-end
+            # checkpoints (the tree-walker's finally blocks) innermost-first
+            # before propagating to run().
+            if self._tracing:
+                self._emit_pending_body_ends(fn, pc, frames)
+            raise
+        finally:
+            self.stats.steps = steps
+
+    def _emit_pending_body_ends(self, fn: BytecodeFunction, pc: int,
+                                frames: list[tuple]) -> None:
+        stack = [(fn, pc)]
+        for caller, caller_code, caller_pc, *_rest in reversed(frames):
+            stack.append((caller, caller_pc))
+        for func, frame_pc in stack:
+            open_regions = [
+                (start, body_end_id)
+                for start, end, body_end_id in func.body_regions
+                if start <= frame_pc < end
+            ]
+            for _, body_end_id in sorted(open_regions, reverse=True):
+                self._trace_checkpoint(body_end_id, BODY_END_CODE)

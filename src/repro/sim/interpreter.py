@@ -45,10 +45,11 @@ from repro.sim.memory import (
     StackAllocator,
 )
 from repro.sim.trace import (
+    BODY_BEGIN_CODE,
+    BODY_END_CODE,
+    DEFAULT_TRACE_BLOCK,
     LIB_PC_BASE,
-    Access,
-    Checkpoint,
-    CheckpointKind,
+    LOOP_BEGIN_CODE,
     TraceSink,
     load_pc,
     store_pc,
@@ -102,11 +103,17 @@ class Interpreter:
         sinks: tuple[TraceSink, ...] = (),
         max_steps: int = 200_000_000,
         max_call_depth: int = 512,
+        trace_block_size: int = DEFAULT_TRACE_BLOCK,
     ):
         self.program = program
         self._sinks = tuple(sinks)
         self._max_steps = max_steps
         self._max_call_depth = max_call_depth
+        self._block_size = max(1, trace_block_size)
+        # Batched trace buffers (see repro.sim.trace): raw access and
+        # checkpoint tuples, flushed to sinks in blocks.
+        self._acc_buf: list[tuple[int, int, int, bool]] = []
+        self._cp_buf: list[tuple[int, int, int]] = []
 
         self.memory = Memory()
         self._globals_alloc = BumpAllocator(GLOBAL_BASE)
@@ -145,6 +152,7 @@ class Interpreter:
             return signal.code
         finally:
             self._trace_on = False
+            self._flush_trace()
             sys.setrecursionlimit(old_limit)
         return int(result) if result is not None else 0
 
@@ -177,17 +185,29 @@ class Interpreter:
 
     def _emit_access(self, pc: int, addr: int, size: int, is_write: bool) -> None:
         self.stats.accesses += 1
-        record = Access(pc, addr, size, is_write)
-        for sink in self._sinks:
-            sink.emit(record)
+        if self._sinks:
+            self._acc_buf.append((pc, addr, size, is_write))
+            if len(self._acc_buf) >= self._block_size:
+                self._flush_trace()
 
-    def _emit_checkpoint(self, checkpoint_id: int, kind: CheckpointKind) -> None:
+    def _emit_checkpoint(self, checkpoint_id: int, kind_code: int) -> None:
         if not self._trace_on:
             return
         self.stats.checkpoints += 1
-        record = Checkpoint(checkpoint_id, kind)
+        if self._sinks:
+            self._cp_buf.append((len(self._acc_buf), checkpoint_id, kind_code))
+            # Access-free loops still produce checkpoints; bound that
+            # buffer too so blocks stay constant-size.
+            if len(self._cp_buf) >= self._block_size:
+                self._flush_trace()
+
+    def _flush_trace(self) -> None:
+        if not self._acc_buf and not self._cp_buf:
+            return
+        accesses, checkpoints = self._acc_buf, self._cp_buf
+        self._acc_buf, self._cp_buf = [], []
         for sink in self._sinks:
-            sink.emit(record)
+            sink.emit_block(accesses, checkpoints)
 
     def _bump_steps(self, amount: int = 1) -> None:
         self.stats.steps += amount
@@ -343,13 +363,13 @@ class Interpreter:
 
     def _exec_for(self, stmt: ast.For) -> None:
         if stmt.is_instrumented:
-            self._emit_checkpoint(stmt.begin_id, CheckpointKind.LOOP_BEGIN)
+            self._emit_checkpoint(stmt.begin_id, LOOP_BEGIN_CODE)
         if stmt.init is not None:
             self._exec_stmt(stmt.init)
         while stmt.cond is None or self._truthy(self._eval(stmt.cond)):
             self._bump_steps()
             if stmt.is_instrumented:
-                self._emit_checkpoint(stmt.body_begin_id, CheckpointKind.BODY_BEGIN)
+                self._emit_checkpoint(stmt.body_begin_id, BODY_BEGIN_CODE)
             try:
                 # The body-end checkpoint sits in a cleanup position so it
                 # fires on every body exit (normal, break, continue,
@@ -360,7 +380,7 @@ class Interpreter:
                 finally:
                     if stmt.is_instrumented:
                         self._emit_checkpoint(stmt.body_end_id,
-                                              CheckpointKind.BODY_END)
+                                              BODY_END_CODE)
             except _BreakSignal:
                 return
             except _ContinueSignal:
@@ -370,18 +390,18 @@ class Interpreter:
 
     def _exec_while(self, stmt: ast.While) -> None:
         if stmt.is_instrumented:
-            self._emit_checkpoint(stmt.begin_id, CheckpointKind.LOOP_BEGIN)
+            self._emit_checkpoint(stmt.begin_id, LOOP_BEGIN_CODE)
         while self._truthy(self._eval(stmt.cond)):
             self._bump_steps()
             if stmt.is_instrumented:
-                self._emit_checkpoint(stmt.body_begin_id, CheckpointKind.BODY_BEGIN)
+                self._emit_checkpoint(stmt.body_begin_id, BODY_BEGIN_CODE)
             try:
                 try:
                     self._exec_stmt(stmt.body)
                 finally:
                     if stmt.is_instrumented:
                         self._emit_checkpoint(stmt.body_end_id,
-                                              CheckpointKind.BODY_END)
+                                              BODY_END_CODE)
             except _BreakSignal:
                 return
             except _ContinueSignal:
@@ -389,18 +409,18 @@ class Interpreter:
 
     def _exec_do_while(self, stmt: ast.DoWhile) -> None:
         if stmt.is_instrumented:
-            self._emit_checkpoint(stmt.begin_id, CheckpointKind.LOOP_BEGIN)
+            self._emit_checkpoint(stmt.begin_id, LOOP_BEGIN_CODE)
         while True:
             self._bump_steps()
             if stmt.is_instrumented:
-                self._emit_checkpoint(stmt.body_begin_id, CheckpointKind.BODY_BEGIN)
+                self._emit_checkpoint(stmt.body_begin_id, BODY_BEGIN_CODE)
             try:
                 try:
                     self._exec_stmt(stmt.body)
                 finally:
                     if stmt.is_instrumented:
                         self._emit_checkpoint(stmt.body_end_id,
-                                              CheckpointKind.BODY_END)
+                                              BODY_END_CODE)
             except _BreakSignal:
                 return
             except _ContinueSignal:

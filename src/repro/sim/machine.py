@@ -1,5 +1,15 @@
 """Compile-and-run harness tying the frontend, instrumentation and
-interpreter together.
+execution engines together.
+
+Two engines execute compiled programs:
+
+* ``"bytecode"`` (default) — the flat register-machine fast path of
+  :mod:`repro.sim.bytecode`;
+* ``"ast"`` — the reference tree-walking interpreter of
+  :mod:`repro.sim.interpreter`.
+
+Both stream identical traces through the batched sink protocol; pick one
+with :class:`EngineConfig` (or the CLI's ``--engine`` flag).
 
 Typical use::
 
@@ -13,13 +23,38 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.instrument.checkpoints import instrument
 from repro.lang import ast_nodes as ast
 from repro.lang.semantics import parse_and_analyze
 from repro.sim.interpreter import Interpreter, RunStats
-from repro.sim.trace import CheckpointMap, TraceCollector, TraceSink
+from repro.sim.trace import (
+    DEFAULT_TRACE_BLOCK,
+    CheckpointMap,
+    TraceCollector,
+    TraceSink,
+)
+
+#: Engine names accepted by :class:`EngineConfig` and the CLI.
+ENGINES = ("bytecode", "ast")
+DEFAULT_ENGINE = "bytecode"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How to execute a compiled program."""
+
+    engine: str = DEFAULT_ENGINE
+    max_steps: int = 200_000_000
+    max_call_depth: int = 512
+    trace_block_size: int = DEFAULT_TRACE_BLOCK
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
 
 
 @dataclass
@@ -29,6 +64,8 @@ class CompiledProgram:
     program: ast.Program
     checkpoint_map: CheckpointMap
     source: str
+    #: Lazily populated bytecode lowering (see :func:`lower_compiled`).
+    bytecode: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_instrumented(self) -> bool:
@@ -37,12 +74,23 @@ class CompiledProgram:
 
 @dataclass
 class RunResult:
-    """Everything produced by one simulated run."""
+    """Everything produced by one simulated run.
+
+    ``machine`` is the engine instance that ran the program (an
+    :class:`~repro.sim.interpreter.Interpreter` or a
+    :class:`~repro.sim.bytecode.BytecodeVM`); both expose ``memory``,
+    ``stdout`` and ``stats``. The legacy ``interpreter`` alias is kept for
+    existing callers.
+    """
 
     exit_code: int
     stdout: str
     stats: RunStats
-    interpreter: Interpreter
+    machine: object
+
+    @property
+    def interpreter(self) -> object:
+        return self.machine
 
 
 def compile_program(source: str, annotate: bool = True,
@@ -53,26 +101,60 @@ def compile_program(source: str, annotate: bool = True,
     return CompiledProgram(program, checkpoint_map, source)
 
 
+def lower_compiled(compiled: CompiledProgram):
+    """Lower ``compiled`` to bytecode, caching the result on the object."""
+    if compiled.bytecode is None:
+        from repro.sim.bytecode import lower_program
+
+        compiled.bytecode = lower_program(compiled.program)
+    return compiled.bytecode
+
+
 def run_compiled(
     compiled: CompiledProgram,
     sinks: tuple[TraceSink, ...] = (),
     entry: str = "main",
     max_steps: int = 200_000_000,
+    config: EngineConfig | None = None,
 ) -> RunResult:
-    """Execute a compiled program, streaming trace records to ``sinks``."""
-    interpreter = Interpreter(compiled.program, sinks=sinks, max_steps=max_steps)
-    exit_code = interpreter.run(entry)
-    return RunResult(exit_code, interpreter.stdout, interpreter.stats, interpreter)
+    """Execute a compiled program, streaming trace records to ``sinks``.
+
+    ``config`` selects the engine and overrides ``max_steps``; without it
+    the default (bytecode) engine runs with the given ``max_steps``.
+    """
+    if config is None:
+        config = EngineConfig(max_steps=max_steps)
+    if config.engine == "ast":
+        machine = Interpreter(
+            compiled.program,
+            sinks=sinks,
+            max_steps=config.max_steps,
+            max_call_depth=config.max_call_depth,
+            trace_block_size=config.trace_block_size,
+        )
+    else:
+        from repro.sim.bytecode import BytecodeVM
+
+        machine = BytecodeVM(
+            lower_compiled(compiled),
+            sinks=sinks,
+            max_steps=config.max_steps,
+            max_call_depth=config.max_call_depth,
+            trace_block_size=config.trace_block_size,
+        )
+    exit_code = machine.run(entry)
+    return RunResult(exit_code, machine.stdout, machine.stats, machine)
 
 
 def run_and_trace(
     source: str,
     entry: str = "main",
     max_steps: int = 200_000_000,
+    config: EngineConfig | None = None,
 ) -> tuple[RunResult, TraceCollector, CompiledProgram]:
     """Convenience: compile, run, and collect the full trace in memory."""
     compiled = compile_program(source)
     collector = TraceCollector()
     result = run_compiled(compiled, sinks=(collector,), entry=entry,
-                          max_steps=max_steps)
+                          max_steps=max_steps, config=config)
     return result, collector, compiled

@@ -21,6 +21,25 @@ pcs are synthetic: user-code access sites get
 ``USER_PC_BASE + 8*node_id (+4 for stores)``; accesses made inside library
 builtins get pcs at ``LIB_PC_BASE`` and above, which is how Table III's
 "system call" classification is reproduced.
+
+Batched protocol
+----------------
+
+The engines do not hand sinks one record object at a time. They append raw
+tuples to preallocated buffers and flush them in blocks through
+:meth:`TraceSink.emit_block`:
+
+* accesses are ``(pc, addr, size, is_write)`` tuples;
+* checkpoints are ``(pos, checkpoint_id, kind_code)`` tuples, where ``pos``
+  is the index of the access *before which* the checkpoint fires (``pos ==
+  len(accesses)`` for checkpoints trailing the block) and ``kind_code`` is
+  the compact :data:`KIND_TO_CODE` encoding.
+
+This keeps the hot path free of per-access object construction while
+preserving the exact interleaving of the two streams;
+:func:`expand_block` recovers the classic record sequence when needed.
+The per-record :meth:`TraceSink.emit` entry point remains for replaying
+stored text traces (:func:`parse_trace`).
 """
 
 from __future__ import annotations
@@ -28,12 +47,15 @@ from __future__ import annotations
 import enum
 import io
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol
+from typing import IO, Iterable, Iterator, Protocol, Union
 
 #: Base pc for user-code memory access sites.
 USER_PC_BASE = 0x400000
 #: Base pc for library-builtin memory access sites.
 LIB_PC_BASE = 0x500000
+
+#: Number of access tuples an engine buffers before flushing a block.
+DEFAULT_TRACE_BLOCK = 4096
 
 
 def is_library_pc(pc: int) -> bool:
@@ -71,6 +93,20 @@ class CheckpointKind(enum.Enum):
     BODY_END = "body-end"
 
 
+#: Compact integer encoding of checkpoint kinds used in batched blocks.
+LOOP_BEGIN_CODE, BODY_BEGIN_CODE, BODY_END_CODE = 0, 1, 2
+KIND_TO_CODE: dict[CheckpointKind, int] = {
+    CheckpointKind.LOOP_BEGIN: LOOP_BEGIN_CODE,
+    CheckpointKind.BODY_BEGIN: BODY_BEGIN_CODE,
+    CheckpointKind.BODY_END: BODY_END_CODE,
+}
+CODE_TO_KIND: tuple[CheckpointKind, ...] = (
+    CheckpointKind.LOOP_BEGIN,
+    CheckpointKind.BODY_BEGIN,
+    CheckpointKind.BODY_END,
+)
+
+
 @dataclass(frozen=True, slots=True)
 class Checkpoint:
     checkpoint_id: int
@@ -102,6 +138,11 @@ class CheckpointInfo:
     loop_node_id: int
     #: "for" | "while" | "do"
     loop_kind: str
+    #: Compact batched-protocol encoding of ``kind`` (see KIND_TO_CODE).
+    kind_code: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind_code", KIND_TO_CODE[self.kind])
 
 
 @dataclass
@@ -109,11 +150,17 @@ class CheckpointMap:
     """id → :class:`CheckpointInfo`, produced by the instrumentation pass."""
 
     infos: dict[int, CheckpointInfo] = field(default_factory=dict)
+    _begin_cache: dict[int, int | None] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, info: CheckpointInfo) -> None:
         if info.checkpoint_id in self.infos:
             raise ValueError(f"duplicate checkpoint id {info.checkpoint_id}")
         self.infos[info.checkpoint_id] = info
+        # Explicit invalidation: a stale-length heuristic would miss
+        # mutations that keep the map the same size.
+        self._begin_cache = None
 
     def kind_of(self, checkpoint_id: int) -> CheckpointKind:
         return self.infos[checkpoint_id].kind
@@ -122,11 +169,11 @@ class CheckpointMap:
         """The loop-begin checkpoint id of the loop owning ``checkpoint_id``.
 
         All three checkpoints of one loop share a ``loop_node_id``; the
-        mapping is cached because this sits on the trace-processing hot
-        path.
+        mapping is cached (invalidated by :meth:`add`) because this sits on
+        the trace-processing hot path.
         """
-        cache = self.__dict__.get("_begin_cache")
-        if cache is None or len(cache) != len(self.infos):
+        cache = self._begin_cache
+        if cache is None:
             begin_by_loop = {
                 info.loop_node_id: info.checkpoint_id
                 for info in self.infos.values()
@@ -136,7 +183,7 @@ class CheckpointMap:
                 cid: begin_by_loop.get(info.loop_node_id)
                 for cid, info in self.infos.items()
             }
-            self.__dict__["_begin_cache"] = cache
+            self._begin_cache = cache
         return cache.get(checkpoint_id)
 
     def __contains__(self, checkpoint_id: int) -> bool:
@@ -150,10 +197,45 @@ class CheckpointMap:
         return {info.loop_node_id for info in self.infos.values()}
 
 
+#: Raw batched event tuples (see the module docstring).
+AccessTuple = tuple[int, int, int, bool]
+CheckpointTuple = tuple[int, int, int]
+
+
 class TraceSink(Protocol):
-    """Anything that can consume trace records as they are produced."""
+    """Anything that can consume trace records as they are produced.
+
+    Engines talk to sinks exclusively through :meth:`emit_block`; the
+    per-record :meth:`emit` entry point exists for replaying stored traces
+    and for tests.
+    """
 
     def emit(self, record: TraceRecord) -> None: ...
+
+    def emit_block(
+        self,
+        accesses: list[AccessTuple],
+        checkpoints: list[CheckpointTuple],
+    ) -> None: ...
+
+
+def expand_block(
+    accesses: list[AccessTuple],
+    checkpoints: list[CheckpointTuple],
+) -> Iterator[TraceRecord]:
+    """Interleave one batched block back into classic record objects."""
+    ci = 0
+    ncp = len(checkpoints)
+    for i, (pc, addr, size, is_write) in enumerate(accesses):
+        while ci < ncp and checkpoints[ci][0] <= i:
+            _, checkpoint_id, code = checkpoints[ci]
+            ci += 1
+            yield Checkpoint(checkpoint_id, CODE_TO_KIND[code])
+        yield Access(pc, addr, size, is_write)
+    while ci < ncp:
+        _, checkpoint_id, code = checkpoints[ci]
+        ci += 1
+        yield Checkpoint(checkpoint_id, CODE_TO_KIND[code])
 
 
 class TraceCollector:
@@ -164,6 +246,9 @@ class TraceCollector:
 
     def emit(self, record: TraceRecord) -> None:
         self.records.append(record)
+
+    def emit_block(self, accesses, checkpoints) -> None:
+        self.records.extend(expand_block(accesses, checkpoints))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -191,6 +276,21 @@ class TraceWriter:
             kind = "wr" if record.is_write else "rd"
             self._stream.write(f"Instr: {record.pc:x} addr: {record.addr:x} {kind}\n")
 
+    def emit_block(self, accesses, checkpoints) -> None:
+        # Text lines are written straight from the raw tuples; no record
+        # objects are constructed on the flush path.
+        write = self._stream.write
+        ci = 0
+        ncp = len(checkpoints)
+        for i, (pc, addr, size, is_write) in enumerate(accesses):
+            while ci < ncp and checkpoints[ci][0] <= i:
+                write(f"Checkpoint: {checkpoints[ci][1]}\n")
+                ci += 1
+            write(f"Instr: {pc:x} addr: {addr:x} {'wr' if is_write else 'rd'}\n")
+        while ci < ncp:
+            write(f"Checkpoint: {checkpoints[ci][1]}\n")
+            ci += 1
+
 
 def format_trace(records: Iterable[TraceRecord]) -> str:
     """Render records as paper-format text (Figure 4c)."""
@@ -201,25 +301,49 @@ def format_trace(records: Iterable[TraceRecord]) -> str:
     return buffer.getvalue()
 
 
-def parse_trace(text: str, checkpoint_map: CheckpointMap) -> Iterator[TraceRecord]:
-    """Parse paper-format trace text back into records.
+def parse_trace(
+    trace: Union[str, IO[str], Iterable[str]],
+    checkpoint_map: CheckpointMap,
+) -> Iterator[TraceRecord]:
+    """Parse paper-format trace text back into records, streaming.
+
+    ``trace`` may be the whole trace text, an open text file, or any other
+    iterable of lines — the trace is never materialized in memory, so
+    arbitrarily large stored traces can be replayed with constant space.
 
     Access sizes are not part of the text format; they are restored as 1,
     which is sufficient for the FORAY-GEN analysis (it never uses sizes).
     """
-    for line_number, line in enumerate(text.splitlines(), start=1):
+    lines = trace.splitlines() if isinstance(trace, str) else trace
+    for line_number, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         if line.startswith("Checkpoint:"):
-            checkpoint_id = int(line.split(":", 1)[1])
+            body = line.split(":", 1)[1]
+            try:
+                checkpoint_id = int(body)
+            except ValueError:
+                raise ValueError(
+                    f"malformed trace line {line_number}: {line!r}"
+                ) from None
+            if checkpoint_id not in checkpoint_map:
+                raise ValueError(
+                    f"unknown checkpoint id {checkpoint_id} "
+                    f"on trace line {line_number}"
+                )
             yield Checkpoint(checkpoint_id, checkpoint_map.kind_of(checkpoint_id))
         elif line.startswith("Instr:"):
             parts = line.split()
-            if len(parts) != 5 or parts[2] != "addr:":
+            if len(parts) != 5 or parts[2] != "addr:" or parts[4] not in ("wr", "rd"):
                 raise ValueError(f"malformed trace line {line_number}: {line!r}")
-            pc = int(parts[1], 16)
-            addr = int(parts[3], 16)
+            try:
+                pc = int(parts[1], 16)
+                addr = int(parts[3], 16)
+            except ValueError:
+                raise ValueError(
+                    f"malformed trace line {line_number}: {line!r}"
+                ) from None
             yield Access(pc, addr, 1, parts[4] == "wr")
         else:
             raise ValueError(f"malformed trace line {line_number}: {line!r}")

@@ -1,0 +1,147 @@
+"""Tests for the staged pipeline: registry, config, caching, parallelism."""
+
+import pytest
+
+from repro.pipeline import (
+    PipelineConfig,
+    PipelineContext,
+    clear_caches,
+    compile_cache,
+    extract_foray_model,
+    extraction_cache,
+    run_stages,
+    run_suite,
+    run_workload,
+    stage_names,
+)
+
+SOURCE = """
+int table[64];
+int out[256];
+int main() {
+    int rep, i;
+    for (i = 0; i < 64; i++) { table[i] = i; }
+    for (rep = 0; rep < 4; rep++) {
+        for (i = 0; i < 64; i++) { out[64 * rep + i] = table[i] + rep; }
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestStageRegistry:
+    def test_stage_order(self):
+        assert stage_names() == (
+            "compile", "instrument", "simulate", "extract", "analyze",
+            "optimize",
+        )
+
+    def test_run_stages_stops_at_requested_stage(self):
+        ctx = PipelineContext(SOURCE, PipelineConfig())
+        run_stages(ctx, upto="instrument")
+        assert ctx.compiled is not None and ctx.compiled.is_instrumented
+        assert ctx.extraction is None and ctx.report is None
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError, match="unknown stage"):
+            run_stages(PipelineContext(SOURCE, PipelineConfig()), upto="ship")
+
+    def test_full_run_populates_all_artifacts(self):
+        ctx = PipelineContext(SOURCE, PipelineConfig(), name="demo")
+        run_stages(ctx, upto="optimize")
+        assert ctx.report is not None and ctx.report.name == "demo"
+        assert ctx.flow is not None
+        assert ctx.flow.report is ctx.report
+
+
+class TestArtifactCache:
+    def test_extraction_cached_by_content(self):
+        extract_foray_model(SOURCE)
+        misses = extraction_cache.misses
+        first = extract_foray_model(SOURCE)
+        second = extract_foray_model(SOURCE)
+        assert second is first  # memoized artifact
+        assert extraction_cache.hits >= 2
+        assert extraction_cache.misses == misses
+
+    def test_cache_key_includes_run_configuration(self):
+        default = extract_foray_model(SOURCE)
+        other_engine = extract_foray_model(
+            SOURCE, config=PipelineConfig(engine="ast"))
+        assert other_engine is not default
+        assert other_engine.model == default.model  # engine parity
+
+    def test_no_cache_bypasses(self):
+        config = PipelineConfig(cache=False)
+        first = extract_foray_model(SOURCE, config=config)
+        second = extract_foray_model(SOURCE, config=config)
+        assert second is not first
+        assert len(extraction_cache) == 0 and len(compile_cache) == 0
+
+    def test_compile_cache_shared_across_filter_configs(self):
+        from repro.foray.filters import FilterConfig
+
+        first = extract_foray_model(SOURCE)
+        strict = extract_foray_model(SOURCE, FilterConfig(nexec=10_000))
+        assert strict.compiled is first.compiled  # one compiled artifact
+        assert len(strict.model.references) < len(first.model.references)
+
+
+class TestParallelSuite:
+    def test_parallel_matches_serial(self):
+        names = ("adpcm", "susan")
+        config = PipelineConfig(cache=False)
+        serial = run_suite(names, config=config)
+        parallel = run_suite(names, jobs=2, config=config)
+        assert [r.name for r in parallel] == [r.name for r in serial]
+        for left, right in zip(serial, parallel):
+            assert left.census == right.census
+            assert left.table2 == right.table2
+            assert left.table3 == right.table3
+            assert left.model == right.model
+
+    def test_jobs_capped_by_workload_count(self):
+        reports = run_suite(("adpcm",), jobs=8,
+                            config=PipelineConfig(cache=False))
+        assert [r.name for r in reports] == ["adpcm"]
+
+
+class TestEngineThroughPipeline:
+    def test_ast_engine_selectable(self):
+        from repro.sim.interpreter import Interpreter
+
+        report = run_workload("demo", SOURCE,
+                              config=PipelineConfig(engine="ast"))
+        assert isinstance(report.extraction.run_result.machine, Interpreter)
+
+    def test_engines_agree_on_report_metrics(self):
+        bc = run_workload("demo", SOURCE)
+        ast = run_workload("demo", SOURCE, config=PipelineConfig(engine="ast"))
+        assert bc.table2 == ast.table2
+        assert bc.table3 == ast.table3
+        assert bc.census == ast.census
+
+
+class TestCliFlags:
+    def test_suite_flags_accepted(self, capsys):
+        from repro.cli import main
+
+        assert main(["suite", "adpcm", "--engine", "ast", "--jobs", "1",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm" in out
+
+    def test_extract_engine_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "demo.c"
+        path.write_text(SOURCE)
+        assert main(["extract", str(path), "--engine", "bytecode"]) == 0
+        assert "references" in capsys.readouterr().out
