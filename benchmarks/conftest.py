@@ -1,7 +1,7 @@
 """Shared fixtures for the benchmark harness.
 
 Workload profiling is the expensive step (seconds per benchmark), so the
-six suite reports are computed once per session and reused by every table
+suite reports are computed once per session and reused by every table
 bench. Each bench also writes its regenerated table into
 ``benchmarks/results/`` so the paper comparison survives output capture.
 """

@@ -9,8 +9,8 @@ paper).
 Run:  python examples/spm_flow.py
 """
 
-from repro.pipeline import full_flow
-from repro.spm.explore import explore
+from repro.pipeline import PipelineConfig, SpmConfig, full_flow
+from repro.spm.explore import pareto_frontier
 
 # A legacy-style kernel: a filter table re-read for every output row,
 # accessed exclusively through walking pointers inside while loops.
@@ -44,7 +44,8 @@ int main() {
 
 
 def main() -> None:
-    flow = full_flow("fir", SOURCE, spm_bytes=2048)
+    config = PipelineConfig(spm=SpmConfig(spm_bytes=2048, sweep=True))
+    flow = full_flow("fir", SOURCE, config=config)
     report = flow.report
 
     print("=== Phase I: FORAY-GEN ===")
@@ -53,12 +54,17 @@ def main() -> None:
     print(report.extraction.foray_source)
 
     print("=== Phase II: design space exploration ===")
-    print(f"{'SPM bytes':>10} {'buffers':>8} {'used':>6} {'saved nJ':>12} {'saving':>8}")
-    for point in explore(report.model):
+    print(flow.graph.describe())
+    print()
+    frontier = {p.capacity_bytes for p in pareto_frontier(flow.exploration)}
+    print(f"{'SPM bytes':>10} {'buffers':>8} {'used':>6} {'saved nJ':>12} "
+          f"{'saving':>8}  pareto")
+    for point in flow.exploration:
+        marker = "*" if point.capacity_bytes in frontier else ""
         print(
             f"{point.capacity_bytes:>10} {point.buffer_count:>8} "
             f"{point.used_bytes:>6} {point.benefit_nj:>12.0f} "
-            f"{point.saving_fraction:>7.1%}"
+            f"{point.saving_fraction:>7.1%}  {marker}"
         )
 
     print()

@@ -1,4 +1,5 @@
-"""Paper-style text rendering of Tables I–III and paper comparisons."""
+"""Paper-style text rendering of Tables I–III, the SPM capacity/energy
+frontier, and paper comparisons."""
 
 from __future__ import annotations
 
@@ -9,6 +10,7 @@ from repro.analysis.paper_data import (
     PAPER_TABLE2,
     PAPER_TABLE3,
 )
+from repro.spm.explore import ExplorationPoint, pareto_frontier
 
 
 def _table(headers: list[str], rows: list[list[str]]) -> str:
@@ -120,6 +122,38 @@ def format_table3(rows: list[MemoryBehavior], with_paper: bool = True) -> str:
                 cells += ["-", "-"]
         body.append(cells)
     return _table(headers, body)
+
+
+def format_spm_frontier(
+    sweeps: dict[str, list[ExplorationPoint]]
+) -> str:
+    """Per-workload SPM capacity sweep: energy saving vs. SPM bytes.
+
+    Pareto-optimal points (no smaller capacity achieves the saving) are
+    marked ``*`` — the frontier a designer would pick a capacity from.
+    """
+    headers = [
+        "benchmark", "SPM bytes", "buffers", "used", "saved nJ", "saving",
+        "pareto",
+    ]
+    body: list[list[str]] = []
+    for name, points in sweeps.items():
+        frontier = {point.capacity_bytes for point in pareto_frontier(points)}
+        for point in points:
+            body.append([
+                name,
+                str(point.capacity_bytes),
+                str(point.buffer_count),
+                str(point.used_bytes),
+                f"{point.benefit_nj:.0f}",
+                f"{point.saving_fraction:.1%}",
+                "*" if point.capacity_bytes in frontier else "",
+            ])
+    policy = next(
+        (points[0].policy for points in sweeps.values() if points), "dp"
+    )
+    table = _table(headers, body)
+    return f"SPM capacity sweep (allocator: {policy})\n{table}"
 
 
 def summarize_headline(rows: list[ForayFormCoverage]) -> str:

@@ -16,7 +16,12 @@ Commands
 
 ``spm FILE``
     Run the full Phase I+II flow on a source file and print the
-    transformed FORAY model and the capacity sweep.
+    transformed FORAY model and the capacity sweep. ``--allocator``
+    selects the buffer-selection policy (exact DP or a greedy ranking);
+    ``--sweep`` takes an optional comma-separated capacity ladder.
+
+``suite --spm``
+    Append the per-workload SPM capacity/energy frontier to the tables.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import argparse
 import sys
 
 from repro.analysis.report import (
+    format_spm_frontier,
     format_table1,
     format_table2,
     format_table3,
@@ -36,12 +42,15 @@ from repro.foray.hints import inlining_hints
 from repro.lang.printer import to_source
 from repro.pipeline import (
     PipelineConfig,
+    SpmConfig,
+    cached_exploration,
     extract_foray_model,
     full_flow,
     run_suite,
 )
 from repro.sim.machine import DEFAULT_ENGINE, ENGINES
-from repro.spm.explore import explore
+from repro.spm.allocator import ALLOCATOR_POLICIES, AllocatorPolicy
+from repro.spm.explore import DEFAULT_CAPACITIES
 from repro.workloads.registry import FIGURE_WORKLOADS
 
 
@@ -59,8 +68,36 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="bypass the compiled/extraction artifact cache")
 
 
+def _add_spm_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--allocator", choices=ALLOCATOR_POLICIES,
+                        default=AllocatorPolicy.DP.value,
+                        help="buffer-selection policy (default: %(default)s)")
+
+
 def _filter_from(args) -> FilterConfig:
     return FilterConfig(nexec=args.nexec, nloc=args.nloc)
+
+
+def _parse_ladder(text: str | None) -> tuple[int, ...]:
+    if not text or text == "default":
+        return DEFAULT_CAPACITIES
+    try:
+        ladder = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"invalid capacity ladder {text!r}") from None
+    if not ladder or any(capacity < 0 for capacity in ladder):
+        raise SystemExit(f"invalid capacity ladder {text!r}")
+    return ladder
+
+
+def _spm_config_from(args) -> SpmConfig:
+    return SpmConfig(
+        spm_bytes=getattr(args, "spm_bytes", 4096),
+        capacities=_parse_ladder(getattr(args, "sweep", None)),
+        allocator=getattr(args, "allocator", AllocatorPolicy.DP.value),
+        sweep=getattr(args, "sweep", None) is not None
+        or getattr(args, "spm", False),
+    )
 
 
 def _config_from(args) -> PipelineConfig:
@@ -69,6 +106,7 @@ def _config_from(args) -> PipelineConfig:
         jobs=getattr(args, "jobs", 1),
         cache=not getattr(args, "no_cache", False),
         filter_config=_filter_from(args),
+        spm=_spm_config_from(args),
     )
 
 
@@ -93,7 +131,8 @@ def cmd_extract(args) -> int:
 
 def cmd_suite(args) -> int:
     names = tuple(args.names) or None
-    reports = run_suite(names, jobs=args.jobs, config=_config_from(args))
+    config = _config_from(args)
+    reports = run_suite(names, jobs=args.jobs, config=config)
     print(format_table1([r.census for r in reports]))
     print()
     print(format_table2([r.table2 for r in reports]))
@@ -101,6 +140,14 @@ def cmd_suite(args) -> int:
     print(format_table3([r.table3 for r in reports]))
     print()
     print(summarize_headline([r.table2 for r in reports]))
+    if args.spm:
+        sweeps = {
+            report.name: cached_exploration(
+                report.extraction.compiled.source, config, report.model)
+            for report in reports
+        }
+        print()
+        print(format_spm_frontier(sweeps))
     return 0
 
 
@@ -115,14 +162,16 @@ def cmd_figures(args) -> int:
 
 def cmd_spm(args) -> int:
     source = open(args.file).read()
-    flow = full_flow(args.file, source, spm_bytes=args.spm_bytes,
-                     config=_config_from(args))
+    config = _config_from(args)
+    flow = full_flow(args.file, source, config=config)
     print(flow.report.extraction.foray_source)
     print(flow.transformed_source)
-    print(f"{'bytes':>8} {'buffers':>8} {'saved nJ':>12}")
-    for point in explore(flow.report.model):
-        print(f"{point.capacity_bytes:>8} {point.buffer_count:>8} "
-              f"{point.benefit_nj:>12.0f}")
+    points = flow.exploration
+    if points is None:
+        points = cached_exploration(source, config, flow.report.model,
+                                    energy=flow.energy_model,
+                                    graph=flow.graph)
+    print(format_spm_frontier({args.file: points}))
     return 0
 
 
@@ -145,12 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="Tables I-III on mini-MiBench")
     p_suite.add_argument("names", nargs="*",
-                         help="benchmark subset (default: all six)")
+                         help="benchmark subset (default: the full suite)")
     p_suite.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the suite "
                               "(0 = CPU count; default: serial)")
+    p_suite.add_argument("--spm", action="store_true",
+                         help="append the SPM capacity/energy frontier "
+                              "per workload")
     _add_filter_args(p_suite)
     _add_engine_args(p_suite)
+    _add_spm_args(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
@@ -159,8 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_spm = sub.add_parser("spm", help="Phases I+II on a MiniC file")
     p_spm.add_argument("file")
     p_spm.add_argument("--spm-bytes", type=int, default=4096)
+    p_spm.add_argument("--sweep", nargs="?", const="default",
+                       metavar="BYTES,BYTES,...",
+                       help="sweep a capacity ladder (default ladder when "
+                            "given without a value)")
     _add_filter_args(p_spm)
     _add_engine_args(p_spm)
+    _add_spm_args(p_spm)
     p_spm.set_defaults(func=cmd_spm)
     return parser
 

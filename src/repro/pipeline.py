@@ -57,13 +57,34 @@ from repro.sim.machine import (
     compile_program,
     run_compiled,
 )
-from repro.spm.allocator import Allocation
+from repro.spm.allocator import Allocation, AllocatorPolicy, allocate_graph
 from repro.spm.energy import EnergyModel
-from repro.spm.explore import best_allocation
+from repro.spm.explore import (
+    DEFAULT_CAPACITIES,
+    ExplorationPoint,
+    explore,
+)
+from repro.spm.graph import ReuseGraph
 from repro.spm.transform import transform_model
 from repro.staticfar.detector import StaticAnalysisResult, detect
 
 DEFAULT_MAX_STEPS = 200_000_000
+
+
+@dataclass(frozen=True)
+class SpmConfig:
+    """Phase II knobs: capacity, allocator policy, energy overrides."""
+
+    #: SPM capacity used by the single-capacity optimize stage.
+    spm_bytes: int = 4096
+    #: Capacity ladder swept when ``sweep`` is enabled.
+    capacities: tuple[int, ...] = DEFAULT_CAPACITIES
+    #: Allocator policy name (see :class:`AllocatorPolicy`).
+    allocator: str = AllocatorPolicy.DP.value
+    #: Per-access energy numbers (override to model other technologies).
+    energy: EnergyModel = EnergyModel()
+    #: Run the capacity sweep in the optimize stage (cached).
+    sweep: bool = False
 
 
 @dataclass(frozen=True)
@@ -76,6 +97,7 @@ class PipelineConfig:
     entry: str = "main"
     max_steps: int = DEFAULT_MAX_STEPS
     filter_config: FilterConfig | None = None
+    spm: SpmConfig = SpmConfig()
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(engine=self.engine, max_steps=self.max_steps)
@@ -109,9 +131,10 @@ def _merge_config(
 class ArtifactCache:
     """A content-addressed in-process memo of pipeline artifacts.
 
-    Bounded: the least-recently-inserted entry is evicted beyond
-    ``max_entries`` (extraction artifacts retain the full simulated run,
-    so unbounded growth would hold one address space per key).
+    Bounded LRU: beyond ``max_entries`` the least-recently-*used* entry is
+    evicted (extraction artifacts retain the full simulated run, so
+    unbounded growth would hold one address space per key). Hits refresh
+    recency — an entry that keeps getting hit survives interleaved misses.
     """
 
     def __init__(self, name: str, max_entries: int = 64):
@@ -122,14 +145,17 @@ class ArtifactCache:
         self.misses = 0
 
     def get(self, key: str):
-        artifact = self._store.get(key)
+        artifact = self._store.pop(key, None)
         if artifact is None:
             self.misses += 1
         else:
+            # Re-insert at the back: dict order is the recency order.
+            self._store[key] = artifact
             self.hits += 1
         return artifact
 
     def put(self, key: str, artifact) -> None:
+        self._store.pop(key, None)  # overwrite refreshes recency too
         while len(self._store) >= self.max_entries:
             self._store.pop(next(iter(self._store)))
         self._store[key] = artifact
@@ -147,12 +173,15 @@ class ArtifactCache:
 compile_cache = ArtifactCache("compile")
 #: Finished extraction results by (source, engine, filters, budget, entry).
 extraction_cache = ArtifactCache("extraction")
+#: Capacity-sweep results by (source, run config, ladder, policy, energy).
+exploration_cache = ArtifactCache("exploration", max_entries=256)
 
 
 def clear_caches() -> None:
     """Drop all memoized pipeline artifacts (mainly for benchmarks)."""
     compile_cache.clear()
     extraction_cache.clear()
+    exploration_cache.clear()
 
 
 def _content_key(*parts) -> str:
@@ -178,6 +207,54 @@ def _extraction_key(source: str, config: PipelineConfig) -> str:
     )
 
 
+def exploration_key(
+    source: str,
+    config: PipelineConfig,
+    capacities: tuple[int, ...],
+    policy: str,
+    energy: EnergyModel | None,
+) -> str:
+    """Cache key of one workload's capacity sweep."""
+    return _content_key(
+        "explore",
+        _extraction_key(source, config),
+        capacities,
+        policy,
+        energy or config.spm.energy,
+    )
+
+
+def cached_exploration(
+    source: str,
+    config: PipelineConfig,
+    model: ForayModel,
+    capacities: tuple[int, ...] | None = None,
+    policy: "AllocatorPolicy | str | None" = None,
+    energy: EnergyModel | None = None,
+    graph: ReuseGraph | None = None,
+) -> tuple["ExplorationPoint", ...]:
+    """Memoized capacity sweep of one workload's model.
+
+    ``None`` arguments fall back to ``config.spm``. The cached artifact is
+    a tuple — it is shared across callers, so it must not be mutable
+    through a returned reference.
+    """
+    spm_config = config.spm
+    capacities = tuple(capacities if capacities is not None
+                       else spm_config.capacities)
+    policy = AllocatorPolicy(policy if policy is not None
+                             else spm_config.allocator)
+    energy = energy or spm_config.energy
+    key = exploration_key(source, config, capacities, policy.value, energy)
+    points = exploration_cache.get(key) if config.cache else None
+    if points is None:
+        points = tuple(explore(model, capacities, energy, policy,
+                               graph=graph))
+        if config.cache:
+            exploration_cache.put(key, points)
+    return points
+
+
 # ---------------------------------------------------------------------------
 # Stage registry
 # ---------------------------------------------------------------------------
@@ -190,7 +267,8 @@ class PipelineContext:
     source: str
     config: PipelineConfig
     name: str = "<anonymous>"
-    spm_bytes: int = 4096
+    #: Per-call overrides of the config's SPM settings (None = use config).
+    spm_bytes: int | None = None
     energy_model: EnergyModel | None = None
 
     # Artifacts, filled in by the stages.
@@ -315,14 +393,25 @@ def _stage_analyze(ctx: PipelineContext) -> None:
                                 table2, table3)
 
 
-@register_stage("optimize", "Phase II: SPM allocation + model transform")
+@register_stage("optimize", "Phase II: reuse graph, SPM allocation, sweep")
 def _stage_optimize(ctx: PipelineContext) -> None:
     assert ctx.report is not None
-    energy_model = ctx.energy_model or EnergyModel()
-    allocation = best_allocation(ctx.report.model, ctx.spm_bytes, energy_model)
+    spm_config = ctx.config.spm
+    energy_model = ctx.energy_model or spm_config.energy
+    policy = AllocatorPolicy(spm_config.allocator)
+    capacity = (ctx.spm_bytes if ctx.spm_bytes is not None
+                else spm_config.spm_bytes)
+    graph = ReuseGraph.from_model(ctx.report.model, energy_model)
+    allocation = allocate_graph(graph, capacity, policy)
     transformed = transform_model(allocation)
+    exploration: tuple[ExplorationPoint, ...] | None = None
+    if spm_config.sweep:
+        exploration = cached_exploration(ctx.source, ctx.config,
+                                         ctx.report.model, policy=policy,
+                                         energy=energy_model, graph=graph)
     ctx.flow = FullFlowResult(ctx.report, allocation, transformed,
-                              energy_model)
+                              energy_model, graph=graph,
+                              exploration=exploration)
 
 
 # ---------------------------------------------------------------------------
@@ -405,7 +494,7 @@ def run_suite(
     jobs: int = 1,
     config: PipelineConfig | None = None,
 ) -> list[WorkloadReport]:
-    """Run the full mini-MiBench suite (the paper's six benchmarks).
+    """Run the full mini-MiBench suite (the paper's six plus mpeg2).
 
     ``jobs > 1`` fans the workloads out over that many worker processes
     (``jobs=0`` uses the CPU count); results come back in suite order
@@ -447,6 +536,10 @@ class FullFlowResult:
     allocation: Allocation
     transformed_source: str
     energy_model: EnergyModel = field(default_factory=EnergyModel)
+    #: The reuse-graph IR the allocation was selected over.
+    graph: ReuseGraph | None = None
+    #: Capacity sweep (only when ``SpmConfig.sweep`` is enabled).
+    exploration: tuple[ExplorationPoint, ...] | None = None
 
     @property
     def energy_saving_nj(self) -> float:
@@ -456,16 +549,18 @@ class FullFlowResult:
 def full_flow(
     name: str,
     source: str,
-    spm_bytes: int = 4096,
+    spm_bytes: int | None = None,
     filter_config: FilterConfig | None = None,
     energy_model: EnergyModel | None = None,
     config: PipelineConfig | None = None,
 ) -> FullFlowResult:
     """The complete design flow of the paper's Figure 3 (Phases I and II).
 
-    Phase III (back-annotating the transformed model into the legacy code)
-    is manual by design in the paper; the transformed model text returned
-    here is the input a designer would use for it.
+    ``spm_bytes`` overrides ``config.spm.spm_bytes`` when given (default
+    4096 via :class:`SpmConfig`). Phase III (back-annotating the
+    transformed model into the legacy code) is manual by design in the
+    paper; the transformed model text returned here is the input a
+    designer would use for it.
     """
     merged = _merge_config(config, filter_config)
     ctx = PipelineContext(source, merged, name=name, spm_bytes=spm_bytes,

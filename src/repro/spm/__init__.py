@@ -3,15 +3,25 @@
 Implements the "Traditional SPM analysis and code transformation" box of
 the paper's Figure 3 (the design flow of reference [5]) so the value of
 FORAY-GEN — more references visible to this phase — can be measured end to
-end.
+end. The candidate space is organised as a reuse-graph IR
+(:mod:`repro.spm.graph`); allocators (exact DP and two greedy rankings)
+and the capacity-sweep explorer operate over it.
 """
 
-from repro.spm.allocator import Allocation, allocate
+from repro.spm.allocator import (
+    ALLOCATOR_POLICIES,
+    Allocation,
+    AllocatorPolicy,
+    allocate,
+    allocate_graph,
+)
 from repro.spm.candidates import (
     BufferCandidate,
     candidate_benefit,
     candidates_for_reference,
     enumerate_candidates,
+    served_saving,
+    transfer_cost,
 )
 from repro.spm.energy import EnergyModel
 from repro.spm.explore import (
@@ -20,25 +30,52 @@ from repro.spm.explore import (
     best_allocation,
     explore,
     model_baseline_energy,
+    pareto_frontier,
+    sweep_suite,
+)
+from repro.spm.graph import (
+    ReuseEdge,
+    ReuseGraph,
+    ReuseNode,
+    reference_interval,
 )
 from repro.spm.reuse import ReuseLevel, inner_footprint, reuse_levels
-from repro.spm.transform import transform_model
+from repro.spm.transform import (
+    ReplayProgram,
+    emit_replay_source,
+    emit_transformed_source,
+    transform_model,
+)
 
 __all__ = [
+    "ALLOCATOR_POLICIES",
     "Allocation",
+    "AllocatorPolicy",
     "allocate",
+    "allocate_graph",
     "BufferCandidate",
     "candidate_benefit",
     "candidates_for_reference",
     "enumerate_candidates",
+    "served_saving",
+    "transfer_cost",
     "EnergyModel",
     "DEFAULT_CAPACITIES",
     "ExplorationPoint",
     "best_allocation",
     "explore",
     "model_baseline_energy",
+    "pareto_frontier",
+    "sweep_suite",
+    "ReuseEdge",
+    "ReuseGraph",
+    "ReuseNode",
+    "reference_interval",
     "ReuseLevel",
     "inner_footprint",
     "reuse_levels",
+    "ReplayProgram",
+    "emit_replay_source",
+    "emit_transformed_source",
     "transform_model",
 ]

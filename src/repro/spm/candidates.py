@@ -34,17 +34,31 @@ class BufferCandidate:
         )
 
 
+def served_saving(reference: ForayReference, energy: EnergyModel) -> float:
+    """Energy saved by serving a reference's accesses from the SPM
+    instead of main memory (transfer traffic not included)."""
+    return (energy.main_energy(reference.reads, reference.writes)
+            - energy.spm_energy(reference.reads, reference.writes))
+
+
+def transfer_cost(
+    level: ReuseLevel, energy: EnergyModel, writes: bool
+) -> float:
+    """Energy of the fill (and, for written buffers, write-back) traffic
+    of one buffer at ``level`` over the whole run."""
+    transfer_words = level.fills * level.footprint_words
+    cost = energy.fill_energy(transfer_words)
+    if writes:
+        cost += energy.writeback_energy(transfer_words)
+    return cost
+
+
 def candidate_benefit(
     reference: ForayReference, level: ReuseLevel, energy: EnergyModel
 ) -> float:
     """Energy saved by buffering ``reference`` at ``level`` (may be < 0)."""
-    baseline = energy.main_energy(reference.reads, reference.writes)
-    served = energy.spm_energy(reference.reads, reference.writes)
-    transfer_words = level.fills * level.footprint_words
-    cost = served + energy.fill_energy(transfer_words)
-    if reference.writes:
-        cost += energy.writeback_energy(transfer_words)
-    return baseline - cost
+    return served_saving(reference, energy) - transfer_cost(
+        level, energy, bool(reference.writes))
 
 
 def candidates_for_reference(

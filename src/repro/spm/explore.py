@@ -1,9 +1,12 @@
 """Design-space exploration over SPM capacities (Phase II step 3).
 
-Sweeps a set of scratch-pad sizes, allocating buffers at each size, and
-reports the achievable energy saving — including the comparison the paper
-motivates: how much of the saving is only reachable *because* FORAY-GEN
-exposed non-source-FORAY references to the optimizer.
+Sweeps a ladder of scratch-pad sizes, allocating buffers over the
+reuse-graph IR at each size, and reports the achievable energy saving —
+the capacity/energy trade-off that motivates scratch-pads in the first
+place. :func:`pareto_frontier` reduces a sweep to its Pareto-optimal
+points (no smaller capacity achieves the same saving), and
+:func:`sweep_suite` fans the sweep out across whole workload suites with
+the pipeline's multiprocess ``run_suite(jobs=N)`` machinery.
 """
 
 from __future__ import annotations
@@ -11,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.foray.model import ForayModel
-from repro.spm.allocator import Allocation, allocate
-from repro.spm.candidates import enumerate_candidates
+from repro.spm.allocator import Allocation, AllocatorPolicy, allocate_graph
 from repro.spm.energy import EnergyModel
+from repro.spm.graph import ReuseGraph
 
 #: Default sweep: typical embedded SPM capacities.
 DEFAULT_CAPACITIES = (256, 512, 1024, 2048, 4096, 8192, 16384)
@@ -26,6 +29,7 @@ class ExplorationPoint:
     used_bytes: int
     benefit_nj: float
     baseline_nj: float
+    policy: str = AllocatorPolicy.DP.value
 
     @property
     def saving_fraction(self) -> float:
@@ -45,14 +49,22 @@ def explore(
     model: ForayModel,
     capacities: tuple[int, ...] = DEFAULT_CAPACITIES,
     energy: EnergyModel | None = None,
+    policy: AllocatorPolicy | str = AllocatorPolicy.DP,
+    graph: ReuseGraph | None = None,
 ) -> list[ExplorationPoint]:
-    """Allocate buffers at each capacity and report the energy savings."""
+    """Allocate buffers at each capacity and report the energy savings.
+
+    The reuse graph is built once and reused across the whole ladder;
+    pass ``graph`` to share one across several sweeps.
+    """
     energy = energy or EnergyModel()
-    candidates = enumerate_candidates(model, energy)
+    policy = AllocatorPolicy(policy)
+    if graph is None:
+        graph = ReuseGraph.from_model(model, energy)
     baseline = model_baseline_energy(model, energy)
     points: list[ExplorationPoint] = []
     for capacity in capacities:
-        allocation: Allocation = allocate(candidates, capacity)
+        allocation: Allocation = allocate_graph(graph, capacity, policy)
         points.append(
             ExplorationPoint(
                 capacity_bytes=capacity,
@@ -60,16 +72,63 @@ def explore(
                 used_bytes=allocation.used_bytes,
                 benefit_nj=allocation.total_benefit_nj,
                 baseline_nj=baseline,
+                policy=policy.value,
             )
         )
     return points
+
+
+def pareto_frontier(points: list[ExplorationPoint]) -> list[ExplorationPoint]:
+    """The Pareto-optimal subset of a sweep: keep a point only if no
+    point of smaller-or-equal capacity achieves at least its saving
+    (a zero-saving point is always dominated by the empty SPM)."""
+    ordered = sorted(
+        points, key=lambda point: (point.capacity_bytes, -point.benefit_nj)
+    )
+    frontier: list[ExplorationPoint] = []
+    best = 0.0
+    for point in ordered:
+        if point.benefit_nj > best + 1e-9:
+            frontier.append(point)
+            best = point.benefit_nj
+    return frontier
+
+
+def sweep_suite(
+    names: tuple[str, ...] | None = None,
+    capacities: tuple[int, ...] = DEFAULT_CAPACITIES,
+    policy: AllocatorPolicy | str = AllocatorPolicy.DP,
+    energy: EnergyModel | None = None,
+    jobs: int = 1,
+    config=None,
+) -> dict[str, tuple[ExplorationPoint, ...]]:
+    """Capacity sweep over a workload suite.
+
+    Workload profiling (the expensive step) is fanned out over ``jobs``
+    worker processes through the pipeline's ``run_suite`` machinery;
+    per-workload sweeps are memoized in the pipeline's exploration
+    artifact cache (``energy=None`` uses ``config.spm.energy``).
+    """
+    from repro import pipeline  # local import: pipeline imports this module
+
+    merged = config or pipeline.PipelineConfig()
+    reports = pipeline.run_suite(names, jobs=jobs, config=merged)
+    return {
+        report.name: pipeline.cached_exploration(
+            report.extraction.compiled.source, merged, report.model,
+            capacities, policy, energy,
+        )
+        for report in reports
+    }
 
 
 def best_allocation(
     model: ForayModel,
     capacity_bytes: int,
     energy: EnergyModel | None = None,
+    policy: AllocatorPolicy | str = AllocatorPolicy.DP,
 ) -> Allocation:
-    """Single-capacity convenience wrapper."""
+    """Single-capacity convenience wrapper over the reuse graph."""
     energy = energy or EnergyModel()
-    return allocate(enumerate_candidates(model, energy), capacity_bytes)
+    graph = ReuseGraph.from_model(model, energy)
+    return allocate_graph(graph, capacity_bytes, policy)

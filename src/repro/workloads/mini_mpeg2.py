@@ -1,0 +1,160 @@
+"""mini-mpeg2 — scaled-down counterpart of MediaBench ``mpeg2`` (decoder).
+
+MediaBench's mpeg2dec is the canonical motion-compensation workload: the
+reference frame is read through half-pel interpolation windows whose
+offsets come from per-macroblock motion vectors, and a small shared
+residual block is re-added to every 8x8 block — the classic scratch-pad
+reuse pattern this repo's Phase II exists to exploit.
+
+Reproduced shapes:
+
+* a BMP-style reference-frame load (``while`` row loop wrapping a
+  pointer-walk ``for`` loop, as in the paper's Figure 1 bottom);
+* macroblock loops bounded by runtime sequence parameters
+  (``seq.mb_w``/``seq.mb_h``), invisible to static FORAY-form analysis;
+* half-pel motion compensation whose reference-frame reads are affine in
+  the 16x16 block iterators but shift with the motion vector each call —
+  dynamically analyzable, constant-term adjusted (partial) references;
+* a shared 8x8 residual block re-read for all four luma blocks of every
+  macroblock — the high-reuse SPM buffer candidate;
+* a frame SAD pass driven by a ``do`` row loop (not canonical in source).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+SOURCE = """
+/* mini-mpeg2: one 48x32 P-frame decode: MC + residual add + frame SAD. */
+
+struct seq_params {
+    int width;
+    int height;
+    int mb_w;
+    int mb_h;
+};
+
+struct seq_params seq;
+
+char ref_frame[3072];   /* 64-byte row stride, 48 rows */
+char cur_frame[3072];
+int  residual[64];      /* shared 8x8 residual block (IDCT output) */
+int  mvx[8];
+int  mvy[8];
+int  sad_total;
+int  mb_count;
+
+void make_reference() {
+    /* Reference-frame load: a while row loop wrapping a pointer walk. */
+    int row = 0;
+    int i;
+    char *p = ref_frame;
+    while (row < 48) {
+        for (i = 0; i < 64; i++) {
+            *p++ = (char)((row * 3 + i * 5) % 200);
+        }
+        row++;
+    }
+}
+
+void make_residual() {
+    int i;
+    for (i = 0; i < 64; i++) {
+        residual[i] = (i % 8) - 4;
+    }
+}
+
+void estimate_motion() {
+    /* Runtime-bounded macroblock loop: invisible to static analysis.
+       Vectors stay in {0,1} so interpolation windows remain in frame. */
+    int mb;
+    for (mb = 0; mb < seq.mb_w * seq.mb_h; mb++) {
+        mvx[mb] = mb % 2;
+        mvy[mb] = (mb / seq.mb_w) % 2;
+    }
+}
+
+void compensate(int mbr, int mbc) {
+    /* Half-pel horizontal interpolation over one 16x16 macroblock: two
+       reference-frame reads per pixel, offset by the motion vector. */
+    int y, x;
+    int mb = seq.mb_w * mbr + mbc;
+    int dx = mvx[mb];
+    int dy = mvy[mb];
+    for (y = 0; y < 16; y++) {
+        for (x = 0; x < 16; x++) {
+            int base = 64 * (16 * mbr + y + dy) + 16 * mbc + x + dx;
+            cur_frame[64 * (16 * mbr + y) + 16 * mbc + x] =
+                (char)((ref_frame[base] + ref_frame[base + 1]) / 2);
+        }
+    }
+}
+
+void add_residual(int mbr, int mbc) {
+    /* All four 8x8 blocks of the macroblock share one residual block:
+       64 words re-read four times per macroblock (the SPM candidate). */
+    int b, u, v;
+    for (b = 0; b < 4; b++) {
+        int by = 16 * mbr + 8 * (b / 2);
+        int bx = 16 * mbc + 8 * (b % 2);
+        for (u = 0; u < 8; u++) {
+            for (v = 0; v < 8; v++) {
+                int pix = cur_frame[64 * (by + u) + bx + v]
+                          + residual[8 * u + v];
+                if (pix < 0) {
+                    pix = 0;
+                }
+                if (pix > 199) {
+                    pix = 199;
+                }
+                cur_frame[64 * (by + u) + bx + v] = (char)pix;
+            }
+        }
+    }
+}
+
+int frame_sad() {
+    /* Frame SAD: a do row loop (legacy style, not canonical in source). */
+    int row = 0;
+    int col;
+    int sad = 0;
+    do {
+        for (col = 0; col < 48; col++) {
+            int d = cur_frame[64 * row + col] - ref_frame[64 * row + col];
+            sad += d < 0 ? -d : d;
+        }
+        row++;
+    } while (row < 32);
+    return sad;
+}
+
+int main() {
+    int mbr, mbc;
+    seq.width = 48;
+    seq.height = 32;
+    seq.mb_w = 3;
+    seq.mb_h = 2;
+
+    make_reference();
+    make_residual();
+    estimate_motion();
+    for (mbr = 0; mbr < seq.mb_h; mbr++) {
+        for (mbc = 0; mbc < seq.mb_w; mbc++) {
+            compensate(mbr, mbc);
+            add_residual(mbr, mbc);
+            mb_count++;
+        }
+    }
+    sad_total = frame_sad();
+    printf("mpeg2 mbs %d sad %d\\n", mb_count, sad_total);
+    return 0;
+}
+"""
+
+WORKLOAD = Workload(
+    name="mpeg2",
+    source=SOURCE,
+    description="48x32 P-frame decode: half-pel MC, residual add, frame SAD",
+    paper_counterpart="mpeg2/mpeg2dec (MediaBench video; beyond the paper's "
+                      "MiBench six)",
+)

@@ -20,7 +20,7 @@ RELAXED = FilterConfig(nexec=1, nloc=1)
 
 @pytest.fixture(scope="session")
 def suite_reports() -> dict[str, WorkloadReport]:
-    """Phase I + baseline + metrics for all six mini-MiBench workloads."""
+    """Phase I + baseline + metrics for every registered suite workload."""
     return {
         name: run_workload(name, workload.source)
         for name, workload in MIBENCH_WORKLOADS.items()

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.foray.model import AffineExpression, ForayReference
-from repro.spm.allocator import allocate
+from repro.spm.allocator import AllocatorPolicy, allocate
 from repro.spm.candidates import BufferCandidate
 from repro.spm.reuse import ReuseLevel
 
@@ -110,3 +110,76 @@ class TestAllocator:
         expected = brute_force(candidates, capacity)
         assert abs(allocation.total_benefit_nj - expected) < 1e-6
         assert allocation.used_bytes <= capacity
+
+
+class TestPolicies:
+    def crowding_candidates(self):
+        """One big medium-value buffer vs. two small high-density ones."""
+        return [
+            make_candidate(0, 1000, 90.0),  # density 0.09
+            make_candidate(1, 500, 60.0),   # density 0.12
+            make_candidate(2, 500, 55.0),   # density 0.11
+        ]
+
+    def test_greedy_ranks_by_density(self):
+        allocation = allocate(self.crowding_candidates(), 1000,
+                              AllocatorPolicy.GREEDY)
+        assert allocation.total_benefit_nj == 115.0
+        assert allocation.policy == "greedy"
+
+    def test_legacy_greedy_ranks_by_raw_benefit(self):
+        # The historical ordering lets the big buffer crowd out the pair.
+        allocation = allocate(self.crowding_candidates(), 1000,
+                              AllocatorPolicy.GREEDY_BENEFIT)
+        assert allocation.total_benefit_nj == 90.0
+        assert allocation.policy == "greedy-benefit"
+
+    def test_dp_dominates_both_greedies(self):
+        candidates = self.crowding_candidates()
+        dp = allocate(candidates, 1000)  # default policy
+        assert dp.policy == "dp"
+        for policy in (AllocatorPolicy.GREEDY,
+                       AllocatorPolicy.GREEDY_BENEFIT):
+            other = allocate(candidates, 1000, policy)
+            assert dp.total_benefit_nj >= other.total_benefit_nj
+
+    def test_greedy_respects_group_exclusivity(self):
+        base = make_candidate(0, 400, 10.0)
+        alt = BufferCandidate(base.reference,
+                              ReuseLevel(2, 200, 1, 100.0, 2.0, False),
+                              800, 25.0)
+        for policy in AllocatorPolicy:
+            allocation = allocate([base, alt], 4096, policy)
+            assert allocation.buffer_count == 1
+
+    def test_policy_accepts_plain_strings(self):
+        allocation = allocate(self.crowding_candidates(), 1000, "greedy")
+        assert allocation.policy == "greedy"
+
+    def test_greedy_charges_granule_aligned_capacity(self):
+        # Two 6-byte buffers round up to 8 bytes each: only one fits in
+        # 12 bytes, exactly as the DP would account it.
+        candidates = [make_candidate(0, 6, 10.0), make_candidate(1, 6, 9.0)]
+        allocation = allocate(candidates, 12, AllocatorPolicy.GREEDY)
+        assert allocation.buffer_count == 1
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=100).map(lambda g: 4 * g),
+            min_size=1, max_size=5,
+        ),
+        benefits=st.lists(st.floats(min_value=1, max_value=100),
+                          min_size=5, max_size=5),
+        capacity=st.integers(min_value=0, max_value=200).map(lambda g: 4 * g),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dp_never_loses_to_greedy(self, sizes, benefits, capacity):
+        candidates = [
+            make_candidate(i, size, round(benefit, 2))
+            for i, (size, benefit) in enumerate(zip(sizes, benefits))
+        ]
+        dp = allocate(candidates, capacity)
+        for policy in (AllocatorPolicy.GREEDY,
+                       AllocatorPolicy.GREEDY_BENEFIT):
+            other = allocate(candidates, capacity, policy)
+            assert dp.total_benefit_nj >= other.total_benefit_nj - 1e-9

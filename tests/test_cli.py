@@ -68,21 +68,56 @@ class TestFiguresAndSuite:
         assert "paper:loops" in out
 
 
+REUSE_DEMO = """
+int table[64]; int out[4096];
+int main() { int rep, i;
+    for (rep = 0; rep < 64; rep++)
+        for (i = 0; i < 64; i++)
+            out[64 * rep + i] = table[i];
+    return 0; }
+"""
+
+
 class TestSpm:
-    def test_spm_command(self, tmp_path, capsys):
+    @pytest.fixture()
+    def reuse_file(self, tmp_path):
         path = tmp_path / "reuse.c"
-        path.write_text("""
-        int table[64]; int out[4096];
-        int main() { int rep, i;
-            for (rep = 0; rep < 64; rep++)
-                for (i = 0; i < 64; i++)
-                    out[64 * rep + i] = table[i];
-            return 0; }
-        """)
-        assert main(["spm", str(path), "--spm-bytes", "1024"]) == 0
+        path.write_text(REUSE_DEMO)
+        return str(path)
+
+    def test_spm_command(self, reuse_file, capsys):
+        assert main(["spm", reuse_file, "--spm-bytes", "1024"]) == 0
         out = capsys.readouterr().out
         assert "SPM capacity: 1024" in out
         assert "dma_copy" in out
+        assert "SPM capacity sweep (allocator: dp)" in out
+
+    def test_spm_sweep_ladder_and_allocator(self, reuse_file, capsys):
+        assert main(["spm", reuse_file, "--sweep", "512,2048",
+                     "--allocator", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "SPM capacity sweep (allocator: greedy)" in out
+        assert "512" in out and "2048" in out
+        assert "pareto" in out
+
+    def test_spm_sweep_default_ladder(self, reuse_file, capsys):
+        assert main(["spm", reuse_file, "--sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "16384" in out  # largest default-ladder capacity
+
+    def test_spm_invalid_ladder_rejected(self, reuse_file):
+        with pytest.raises(SystemExit):
+            main(["spm", reuse_file, "--sweep", "512,banana"])
+
+    def test_suite_spm_flag(self, capsys):
+        assert main(["suite", "adpcm", "--spm"]) == 0
+        out = capsys.readouterr().out
+        assert "SPM capacity sweep" in out
+        assert "pareto" in out
+
+    def test_unknown_allocator_rejected(self, reuse_file):
+        with pytest.raises(SystemExit):
+            main(["spm", reuse_file, "--allocator", "magic"])
 
 
 class TestParser:

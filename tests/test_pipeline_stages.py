@@ -3,17 +3,22 @@
 import pytest
 
 from repro.pipeline import (
+    ArtifactCache,
     PipelineConfig,
     PipelineContext,
+    SpmConfig,
     clear_caches,
     compile_cache,
+    exploration_cache,
     extract_foray_model,
     extraction_cache,
+    full_flow,
     run_stages,
     run_suite,
     run_workload,
     stage_names,
 )
+from repro.spm.energy import EnergyModel
 
 SOURCE = """
 int table[64];
@@ -92,6 +97,116 @@ class TestArtifactCache:
         strict = extract_foray_model(SOURCE, FilterConfig(nexec=10_000))
         assert strict.compiled is first.compiled  # one compiled artifact
         assert len(strict.model.references) < len(first.model.references)
+
+
+class TestArtifactCacheLru:
+    def test_hit_refreshes_recency(self):
+        # Regression: get() used to leave recency untouched, so the
+        # "LRU" cache evicted in FIFO order under mixed hit/miss loads.
+        cache = ArtifactCache("t", max_entries=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert cache.get("a") == "A"  # refreshes a
+        cache.put("c", "C")           # must evict b, the true LRU
+        assert cache.get("a") == "A"
+        assert cache.get("b") is None
+        assert cache.get("c") == "C"
+
+    def test_overwrite_refreshes_recency(self):
+        cache = ArtifactCache("t", max_entries=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        cache.put("a", "A2")  # refresh by overwrite
+        cache.put("c", "C")
+        assert cache.get("a") == "A2"
+        assert cache.get("b") is None
+
+    def test_capacity_still_bounded(self):
+        cache = ArtifactCache("t", max_entries=3)
+        for index in range(10):
+            cache.put(str(index), index)
+        assert len(cache) == 3
+
+
+class TestSpmThroughPipeline:
+    def test_config_capacity_and_policy(self):
+        config = PipelineConfig(
+            spm=SpmConfig(spm_bytes=1024, allocator="greedy"))
+        flow = full_flow("demo", SOURCE, config=config)
+        assert flow.allocation.capacity_bytes == 1024
+        assert flow.allocation.policy == "greedy"
+        assert flow.graph is not None and flow.graph.node_count >= 1
+        assert flow.exploration is None  # sweep not requested
+
+    def test_spm_bytes_argument_overrides_config(self):
+        config = PipelineConfig(spm=SpmConfig(spm_bytes=1024))
+        flow = full_flow("demo", SOURCE, spm_bytes=256, config=config)
+        assert flow.allocation.capacity_bytes == 256
+
+    def test_sweep_enters_artifact_cache(self):
+        ladder = (256, 1024, 4096, 16384)
+        config = PipelineConfig(
+            spm=SpmConfig(sweep=True, capacities=ladder))
+        flow = full_flow("demo", SOURCE, config=config)
+        assert flow.exploration is not None
+        assert [p.capacity_bytes for p in flow.exploration] == list(ladder)
+        hits = exploration_cache.hits
+        again = full_flow("demo", SOURCE, config=config)
+        assert again.exploration is flow.exploration  # memoized artifact
+        assert exploration_cache.hits > hits
+
+    def test_sweep_cache_keyed_by_policy(self):
+        ladder = (256, 1024)
+        dp = full_flow("demo", SOURCE, config=PipelineConfig(
+            spm=SpmConfig(sweep=True, capacities=ladder)))
+        greedy = full_flow("demo", SOURCE, config=PipelineConfig(
+            spm=SpmConfig(sweep=True, capacities=ladder,
+                          allocator="greedy")))
+        assert dp.exploration is not greedy.exploration
+        assert {p.policy for p in greedy.exploration} == {"greedy"}
+
+    def test_energy_override_scales_benefit(self):
+        pricey = EnergyModel(main_read_nj=50.0, main_write_nj=50.0)
+        base = full_flow("demo", SOURCE, config=PipelineConfig())
+        boosted = full_flow("demo", SOURCE, config=PipelineConfig(
+            spm=SpmConfig(energy=pricey)))
+        assert boosted.energy_model is pricey
+        assert (boosted.allocation.total_benefit_nj
+                > base.allocation.total_benefit_nj)
+
+    def test_sweep_suite_parallel_matches_serial(self):
+        from repro.spm.explore import sweep_suite
+
+        names = ("adpcm", "mpeg2")
+        ladder = (256, 1024, 4096, 16384)
+        config = PipelineConfig(cache=False)
+        serial = sweep_suite(names, ladder, jobs=1, config=config)
+        parallel = sweep_suite(names, ladder, jobs=2, config=config)
+        assert serial == parallel
+        for name in names:
+            assert [p.capacity_bytes for p in serial[name]] == list(ladder)
+
+    def test_sweep_suite_honours_config_energy(self):
+        # Regression: sweeps were computed with the default energy model
+        # but cached under the config's custom one, poisoning the cache.
+        from repro.spm.explore import sweep_suite
+
+        pricey = EnergyModel(main_read_nj=100.0, main_write_nj=120.0)
+        config = PipelineConfig(spm=SpmConfig(energy=pricey, sweep=True))
+        boosted = sweep_suite(("mpeg2",), (4096,), config=config)
+        plain = sweep_suite(("mpeg2",), (4096,), config=PipelineConfig())
+        assert (boosted["mpeg2"][0].benefit_nj
+                > plain["mpeg2"][0].benefit_nj)
+        # A full_flow with the same config must agree with the sweep.
+        from repro.workloads.registry import get_workload
+
+        flow = full_flow("mpeg2", get_workload("mpeg2").source,
+                         config=config)
+        sweep_at_4096 = [p for p in flow.exploration
+                         if p.capacity_bytes == 4096]
+        assert sweep_at_4096
+        assert (sweep_at_4096[0].benefit_nj
+                == pytest.approx(boosted["mpeg2"][0].benefit_nj))
 
 
 class TestParallelSuite:
