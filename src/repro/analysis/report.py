@@ -1,5 +1,5 @@
 """Paper-style text rendering of Tables I–III, the SPM capacity/energy
-frontier, and paper comparisons."""
+frontier, the cross-input stability table, and paper comparisons."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ from repro.analysis.paper_data import (
     PAPER_TABLE2,
     PAPER_TABLE3,
 )
+from repro.foray.validate import WorkloadValidation
 from repro.spm.explore import ExplorationPoint, pareto_frontier
 
 
@@ -154,6 +155,53 @@ def format_spm_frontier(
     )
     table = _table(headers, body)
     return f"SPM capacity sweep (allocator: {policy})\n{table}"
+
+
+def format_stability_table(
+    results: list[WorkloadValidation], threshold: float = 0.0
+) -> str:
+    """Cross-input stability of the extracted models (scenario matrix).
+
+    One row per workload: the model is extracted on the *profile*
+    scenario, replayed against every other scenario, and scored per
+    reference. ``self%`` is the full-reference accuracy on the profiling
+    input itself (must be 100 by construction); ``min%``/``mean%``
+    aggregate the cross-input overall accuracy; ``worst ref`` names the
+    least-predictable exercised reference and the scenario that exposed
+    it; ``unex`` is the worst-case count of model references a replay
+    never exercised.
+    """
+    headers = [
+        "benchmark", "profile", "scen", "self-full%", "min%", "mean%",
+        "worst ref", "unex", "status",
+    ]
+    body: list[list[str]] = []
+    for result in results:
+        worst = result.worst_reference()
+        if worst is None:
+            worst_text = "-"
+        else:
+            scenario, validation = worst
+            worst_text = (
+                f"{validation.reference.array_name} "
+                f"{validation.accuracy:.0%} ({scenario})"
+            )
+        body.append([
+            result.workload,
+            result.profile,
+            str(result.scenario_count),
+            f"{result.self_validation.full_accuracy:.1%}",
+            f"{result.min_accuracy:.1%}",
+            f"{result.mean_accuracy:.1%}",
+            worst_text,
+            str(result.max_unexercised),
+            "ok" if result.passes(threshold) else "LOW",
+        ])
+    table = _table(headers, body)
+    return (
+        "Cross-input stability (model from the profile scenario, replayed "
+        "on every other scenario)\n" + table
+    )
 
 
 def summarize_headline(rows: list[ForayFormCoverage]) -> str:

@@ -22,6 +22,19 @@ Commands
 
 ``suite --spm``
     Append the per-workload SPM capacity/energy frontier to the tables.
+
+``validate [NAMES...]``
+    Cross-input validation over each workload's input-scenario matrix:
+    extract the model on the profile scenario, replay every other
+    scenario against it, and print per-scenario reports plus the
+    stability table. Exits non-zero when a model fails the gate
+    (full references must self-validate at 100%; ``--threshold`` adds a
+    minimum cross-input accuracy).
+
+``suite --validate``
+    Append the cross-input stability table to the suite tables
+    (``--scenarios N`` trims each workload's matrix to its first N
+    scenarios; the same gate sets the exit code).
 """
 
 from __future__ import annotations
@@ -31,6 +44,7 @@ import sys
 
 from repro.analysis.report import (
     format_spm_frontier,
+    format_stability_table,
     format_table1,
     format_table2,
     format_table3,
@@ -43,10 +57,13 @@ from repro.lang.printer import to_source
 from repro.pipeline import (
     PipelineConfig,
     SpmConfig,
+    ValidationConfig,
     cached_exploration,
     extract_foray_model,
     full_flow,
+    normalize_ladder,
     run_suite,
+    validate_suite,
 )
 from repro.sim.machine import DEFAULT_ENGINE, ENGINES
 from repro.spm.allocator import ALLOCATOR_POLICIES, AllocatorPolicy
@@ -85,9 +102,12 @@ def _parse_ladder(text: str | None) -> tuple[int, ...]:
         ladder = tuple(int(part) for part in text.split(",") if part.strip())
     except ValueError:
         raise SystemExit(f"invalid capacity ladder {text!r}") from None
-    if not ladder or any(capacity < 0 for capacity in ladder):
+    # A 0-byte SPM is not a sweep point, and equivalent ladders must not
+    # fragment the exploration cache: reject non-positive capacities and
+    # return the canonical (sorted, deduplicated) form.
+    if not ladder or any(capacity <= 0 for capacity in ladder):
         raise SystemExit(f"invalid capacity ladder {text!r}")
-    return ladder
+    return normalize_ladder(ladder)
 
 
 def _spm_config_from(args) -> SpmConfig:
@@ -100,6 +120,28 @@ def _spm_config_from(args) -> SpmConfig:
     )
 
 
+def _add_validation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenarios", type=int, default=None, metavar="N",
+                        help="limit each workload's matrix to its first N "
+                             "scenarios (N >= 2: the profile plus at least "
+                             "one replay; default: all declared)")
+    parser.add_argument("--profile", default=None, metavar="SCENARIO",
+                        help="extract the model on this scenario "
+                             "(default: each workload's nominal scenario)")
+    parser.add_argument("--threshold", type=float, default=0.0,
+                        help="minimum acceptable cross-input accuracy "
+                             "(exit 1 below it; default: %(default)s)")
+
+
+def _validation_config_from(args, enabled: bool) -> ValidationConfig:
+    return ValidationConfig(
+        enabled=enabled,
+        profile=getattr(args, "profile", None),
+        max_scenarios=getattr(args, "scenarios", None),
+        threshold=getattr(args, "threshold", 0.0),
+    )
+
+
 def _config_from(args) -> PipelineConfig:
     return PipelineConfig(
         engine=getattr(args, "engine", DEFAULT_ENGINE),
@@ -107,6 +149,8 @@ def _config_from(args) -> PipelineConfig:
         cache=not getattr(args, "no_cache", False),
         filter_config=_filter_from(args),
         spm=_spm_config_from(args),
+        validation=_validation_config_from(
+            args, getattr(args, "validate", False)),
     )
 
 
@@ -148,7 +192,39 @@ def cmd_suite(args) -> int:
         }
         print()
         print(format_spm_frontier(sweeps))
+    if args.validate:
+        results = _validate_or_exit(names, args, config)
+        print()
+        print(format_stability_table(results, threshold=args.threshold))
+        if not all(r.passes(args.threshold) for r in results):
+            return 1
     return 0
+
+
+def _validate_or_exit(names, args, config):
+    """Run the validation matrix, turning declaration errors (unknown
+    scenario/profile, bad --scenarios) into a clean CLI exit."""
+    try:
+        return validate_suite(names, jobs=args.jobs, config=config)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"validate: {message}") from None
+
+
+def cmd_validate(args) -> int:
+    names = tuple(args.names) or None
+    config = _config_from(args)
+    results = _validate_or_exit(names, args, config)
+    for result in results:
+        print(f"=== {result.workload}: model from scenario "
+              f"{result.profile!r} ===")
+        print(f"  self ({result.profile}): "
+              f"{result.self_validation.summary()}")
+        for cell in result.cross:
+            print(f"  {cell.scenario}: {cell.report.summary()}")
+    print()
+    print(format_stability_table(results, threshold=args.threshold))
+    return 0 if all(r.passes(args.threshold) for r in results) else 1
 
 
 def cmd_figures(args) -> int:
@@ -201,13 +277,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--spm", action="store_true",
                          help="append the SPM capacity/energy frontier "
                               "per workload")
+    p_suite.add_argument("--validate", action="store_true",
+                         help="append the cross-input stability table "
+                              "(scenario matrix)")
     _add_filter_args(p_suite)
     _add_engine_args(p_suite)
     _add_spm_args(p_suite)
+    _add_validation_args(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
     p_figures.set_defaults(func=cmd_figures)
+
+    p_validate = sub.add_parser(
+        "validate", help="cross-input validation over the scenario matrix")
+    p_validate.add_argument("names", nargs="*",
+                            help="workload subset (default: the full suite)")
+    p_validate.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the (workload x "
+                                 "scenario) matrix (0 = CPU count; "
+                                 "default: serial)")
+    _add_filter_args(p_validate)
+    _add_engine_args(p_validate)
+    _add_validation_args(p_validate)
+    p_validate.set_defaults(func=cmd_validate, validate=True)
 
     p_spm = sub.add_parser("spm", help="Phases I+II on a MiniC file")
     p_spm.add_argument("file")

@@ -11,11 +11,24 @@ the model's affine expression predicts exactly.
   semantics the paper gives them — and are scored on the accesses in
   between.
 
+:class:`ValidationSink` implements the engines' batched trace-sink
+protocol, so a replay can be scored *online* while the program runs —
+the replayed trace is never materialized. The ``validate`` pipeline
+stage (:mod:`repro.pipeline`) drives it over a workload's whole input
+scenario matrix; :func:`validate_model` is the classic offline entry
+point for stored record streams.
+
 Typical use::
 
     model = extract_foray_model(source).model           # profile input A
     report = validate_model(model, records_b, cmap)     # replay input B
     assert report.overall_accuracy > 0.95
+
+or, streaming (what the pipeline's ``validate`` stage does)::
+
+    sink = ValidationSink(model, compiled.checkpoint_map)
+    run_compiled(compiled, sinks=(sink,), config=scenario_config)
+    report = sink.finish()
 """
 
 from __future__ import annotations
@@ -25,7 +38,13 @@ from typing import Iterable
 
 from repro.foray.looptree import LoopTreeBuilder
 from repro.foray.model import ForayModel, ForayReference
-from repro.sim.trace import Access, CheckpointMap, TraceRecord, is_library_pc
+from repro.sim.trace import (
+    LIB_PC_BASE,
+    Access,
+    CheckpointMap,
+    TraceRecord,
+    is_library_pc,
+)
 
 
 @dataclass
@@ -37,8 +56,20 @@ class ReferenceValidation:
     predicted: int = 0
 
     @property
+    def exercised(self) -> bool:
+        """Whether the replayed trace reached this reference at all."""
+        return self.checked > 0
+
+    @property
     def accuracy(self) -> float:
-        return self.predicted / self.checked if self.checked else 1.0
+        """Fraction of scored accesses predicted exactly.
+
+        A reference the replayed trace never exercised scores 0.0 — it
+        demonstrated nothing, so it must not read as perfectly predicted
+        (it is also excluded from :attr:`ValidationReport.overall_accuracy`,
+        which only aggregates scored accesses).
+        """
+        return self.predicted / self.checked if self.checked else 0.0
 
 
 @dataclass
@@ -60,12 +91,42 @@ class ValidationReport:
         checked = self.total_checked
         return self.total_predicted / checked if checked else 1.0
 
+    @property
+    def full_accuracy(self) -> float:
+        """Accuracy over the model's *full* references only (the paper's
+        strongest claim: one constant predicts every access)."""
+        checked = predicted = 0
+        for validation in self.per_reference:
+            if validation.reference.is_full:
+                checked += validation.checked
+                predicted += validation.predicted
+        return predicted / checked if checked else 1.0
+
+    @property
+    def unexercised_share(self) -> float:
+        """Fraction of model references the replay never exercised."""
+        if not self.per_reference:
+            return 0.0
+        return self.unexercised / len(self.per_reference)
+
+    def exercised_references(self) -> list[ReferenceValidation]:
+        return [v for v in self.per_reference if v.exercised]
+
+    def worst_reference(self) -> ReferenceValidation | None:
+        """The exercised reference with the lowest accuracy (None when
+        nothing was exercised)."""
+        exercised = self.exercised_references()
+        if not exercised:
+            return None
+        return min(exercised, key=lambda v: v.accuracy)
+
     def summary(self) -> str:
         return (
             f"{self.total_predicted}/{self.total_checked} accesses predicted "
             f"({self.overall_accuracy:.1%}) across "
             f"{len(self.per_reference)} references; "
-            f"{self.unexercised} unexercised"
+            f"{self.unexercised} unexercised "
+            f"({self.unexercised_share:.0%} of references)"
         )
 
 
@@ -81,47 +142,104 @@ class _RefState:
         self.anchor_iters: tuple[int, ...] | None = None
 
 
+class ValidationSink:
+    """A trace sink that scores a model online while an engine runs.
+
+    Implements both entry points of the sink protocol: the per-record
+    :meth:`emit` (stored-trace replay) and the batched :meth:`emit_block`
+    hot path (attach directly to a simulation via
+    ``run_compiled(..., sinks=(sink,))``). References are matched by
+    (loop-begin-id path, pc), which is stable across runs — and across
+    input scenarios, whose sources share one AST skeleton by construction.
+    """
+
+    def __init__(self, model: ForayModel, checkpoint_map: CheckpointMap):
+        self._report = ValidationReport()
+        self._states: dict[tuple[tuple[int, ...], int], _RefState] = {}
+        for reference in model.references:
+            validation = ReferenceValidation(reference)
+            self._report.per_reference.append(validation)
+            path_key = tuple(loop.begin_id for loop in reference.loop_path)
+            self._states[(path_key, reference.pc)] = _RefState(validation)
+        self._builder = LoopTreeBuilder(checkpoint_map)
+
+    def emit(self, record: TraceRecord) -> None:
+        if isinstance(record, Access):
+            if not is_library_pc(record.pc):
+                self._score_at_current(record.pc, record.addr)
+        else:
+            self._builder.on_checkpoint(record)
+
+    def emit_block(self, accesses, checkpoints) -> None:
+        # Mirrors the extractor's batched loop: the loop position (and so
+        # the path key and iterator vector) only changes at checkpoints,
+        # so both are recomputed per checkpoint run, not per access.
+        builder = self._builder
+        states = self._states
+        on_checkpoint = builder.on_checkpoint_code
+        ci = 0
+        ncp = len(checkpoints)
+        path_key = tuple(
+            n.begin_id for n in builder.current.path_from_root()
+        )
+        iterators = builder.current_iterators()
+        for i, (pc, addr, _size, _is_write) in enumerate(accesses):
+            if ci < ncp and checkpoints[ci][0] <= i:
+                while ci < ncp and checkpoints[ci][0] <= i:
+                    entry = checkpoints[ci]
+                    ci += 1
+                    on_checkpoint(entry[1], entry[2])
+                path_key = tuple(
+                    n.begin_id for n in builder.current.path_from_root()
+                )
+                iterators = builder.current_iterators()
+            if pc >= LIB_PC_BASE:
+                continue
+            state = states.get((path_key, pc))
+            if state is not None:
+                _score_access(state, addr, iterators)
+        while ci < ncp:
+            entry = checkpoints[ci]
+            ci += 1
+            on_checkpoint(entry[1], entry[2])
+
+    def _score_at_current(self, pc: int, addr: int) -> None:
+        node = self._builder.current
+        path_key = tuple(n.begin_id for n in node.path_from_root())
+        state = self._states.get((path_key, pc))
+        if state is not None:
+            _score_access(state, addr, self._builder.current_iterators())
+
+    def finish(self) -> ValidationReport:
+        self._report.unexercised = sum(
+            1 for validation in self._report.per_reference
+            if not validation.exercised
+        )
+        return self._report
+
+
 def validate_model(
     model: ForayModel,
     records: Iterable[TraceRecord],
     checkpoint_map: CheckpointMap,
 ) -> ValidationReport:
-    """Replay ``records`` and score every model reference's predictions.
-
-    References are matched by (loop-begin-id path, pc), which is stable
-    across runs of the same instrumented program.
-    """
-    report = ValidationReport()
-    states: dict[tuple[tuple[int, ...], int], _RefState] = {}
-    for reference in model.references:
-        validation = ReferenceValidation(reference)
-        report.per_reference.append(validation)
-        path_key = tuple(loop.begin_id for loop in reference.loop_path)
-        states[(path_key, reference.pc)] = _RefState(validation)
-
-    builder = LoopTreeBuilder(checkpoint_map)
+    """Replay stored ``records`` and score every model reference."""
+    sink = ValidationSink(model, checkpoint_map)
     for record in records:
-        if not isinstance(record, Access):
-            builder.on_checkpoint(record)
-            continue
-        if is_library_pc(record.pc):
-            continue
-        node = builder.current
-        path_key = tuple(n.begin_id for n in node.path_from_root())
-        state = states.get((path_key, record.pc))
-        if state is None:
-            continue
-        _score_access(state, record.addr, builder.current_iterators())
-
-    report.unexercised = sum(
-        1 for validation in report.per_reference if validation.checked == 0
-    )
-    return report
+        sink.emit(record)
+    return sink.finish()
 
 
 def _score_access(state: _RefState, addr: int, iterators: tuple[int, ...]) -> None:
     expression = state.expression
     m = expression.num_iterators
+    if len(iterators) < m:
+        # The replayed nest is shallower than the expression (e.g. a
+        # truncated or foreign trace): the prediction is undefined, so
+        # score a misprediction instead of zip-truncating the iterator
+        # vector into a garbage match.
+        state.validation.checked += 1
+        return
     inner = iterators[:m]
     inner_part = sum(
         coefficient * value
@@ -142,3 +260,74 @@ def _score_access(state: _RefState, addr: int, iterators: tuple[int, ...]) -> No
     state.validation.checked += 1
     if predicted == addr:
         state.validation.predicted += 1
+
+
+@dataclass(frozen=True)
+class ScenarioValidation:
+    """One cell of the scenario matrix: a model extracted on
+    ``profile`` replayed against ``scenario``'s trace."""
+
+    workload: str
+    scenario: str
+    profile: str
+    engine: str
+    report: ValidationReport
+
+
+@dataclass(frozen=True)
+class WorkloadValidation:
+    """Cross-input stability of one workload's model over its matrix."""
+
+    workload: str
+    profile: str
+    scenario_count: int
+    #: The profile scenario replayed against its own model (sanity row:
+    #: full references must score 100% here).
+    self_validation: ValidationReport
+    #: Every other scenario replayed against the profile model.
+    cross: tuple[ScenarioValidation, ...]
+
+    @property
+    def min_accuracy(self) -> float:
+        return min(
+            (cell.report.overall_accuracy for cell in self.cross), default=1.0
+        )
+
+    @property
+    def mean_accuracy(self) -> float:
+        if not self.cross:
+            return 1.0
+        return sum(
+            cell.report.overall_accuracy for cell in self.cross
+        ) / len(self.cross)
+
+    @property
+    def max_unexercised(self) -> int:
+        return max((cell.report.unexercised for cell in self.cross), default=0)
+
+    def worst_reference(self) -> tuple[str, ReferenceValidation] | None:
+        """(scenario, reference validation) of the least-predictable
+        exercised reference across all cross-input replays."""
+        worst: tuple[str, ReferenceValidation] | None = None
+        for cell in self.cross:
+            candidate = cell.report.worst_reference()
+            if candidate is None:
+                continue
+            if worst is None or candidate.accuracy < worst[1].accuracy:
+                worst = (cell.scenario, candidate)
+        return worst
+
+    def passes(self, threshold: float = 0.0) -> bool:
+        """The CI gate: full references must self-validate perfectly and
+        every cross-input replay must clear the accuracy threshold.
+
+        A replay that scored nothing (``total_checked == 0``) demonstrated
+        nothing — its vacuous 100% overall accuracy must not satisfy the
+        gate, so such cells (self-validation included) fail it outright.
+        """
+        return (
+            self.self_validation.full_accuracy == 1.0
+            and self.self_validation.total_checked > 0
+            and all(cell.report.total_checked > 0 for cell in self.cross)
+            and self.min_accuracy >= threshold
+        )

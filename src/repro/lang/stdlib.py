@@ -51,7 +51,8 @@ BUILTIN_SIGNATURES: dict[str, BuiltinSignature] = {
         BuiltinSignature("exit", VOID, 1),
         # File-input stand-in: fills a buffer with n deterministic 32-bit
         # samples through library stores (the paper's benchmarks stage
-        # their inputs through C library reads the same way).
+        # their inputs through C library reads the same way). The sample
+        # ensemble is a run parameter: see repro.sim.inputs.InputSpec.
         BuiltinSignature("read_samples", INT, 2, touches_memory=True),
         BuiltinSignature("sqrt", DOUBLE, 1),
         BuiltinSignature("fabs", DOUBLE, 1),

@@ -2,7 +2,7 @@
 
 The flow is organised as a registry of named stages, executed in order::
 
-    compile → instrument → simulate → extract → analyze → optimize
+    compile → instrument → simulate → extract → analyze → validate → optimize
 
 * **compile** — parse + semantic analysis of the MiniC source;
 * **instrument** — checkpoint annotation (paper Algorithm 1, step 1);
@@ -11,6 +11,8 @@ The flow is organised as a registry of named stages, executed in order::
   constant-space online mode);
 * **extract** — finalize the loop tree and purge the model (steps 2–4);
 * **analyze** — static baseline plus the Table I–III metrics;
+* **validate** — replay the workload's other input scenarios against the
+  extracted model (cross-input stability; off by default);
 * **optimize** — Phase II SPM reuse analysis / buffer allocation.
 
 :class:`PipelineConfig` selects the execution engine (``bytecode`` or
@@ -24,6 +26,10 @@ compositions over the stages:
 * :func:`run_suite` — the full mini-MiBench evaluation (Tables I–III),
   optionally fanned out over worker processes with ``jobs=N``.
 * :func:`full_flow` — through **optimize**, emitting the transformed model.
+* :func:`validate_workload` / :func:`validate_suite` — the cross-input
+  scenario matrix: every ``(workload × scenario)`` cell replays one
+  scenario's trace against the profile-scenario model, fanned out over
+  the same worker-process machinery.
 
 Compiled programs and extraction results are memoized in an in-process
 content-hash cache (keyed by source text and the exact run configuration);
@@ -49,6 +55,13 @@ from repro.foray.emitter import emit_model
 from repro.foray.extractor import ForayExtractor
 from repro.foray.filters import FilterConfig
 from repro.foray.model import ForayModel
+from repro.foray.validate import (
+    ScenarioValidation,
+    ValidationReport,
+    ValidationSink,
+    WorkloadValidation,
+)
+from repro.sim.inputs import InputSpec
 from repro.sim.machine import (
     DEFAULT_ENGINE,
     CompiledProgram,
@@ -88,6 +101,24 @@ class SpmConfig:
 
 
 @dataclass(frozen=True)
+class ValidationConfig:
+    """Scenario-matrix knobs for the ``validate`` stage.
+
+    ``scenarios=None`` replays every scenario the workload declares;
+    ``profile=None`` extracts the model on the workload's first (nominal)
+    scenario. ``threshold`` is the minimum acceptable cross-input overall
+    accuracy gated by ``WorkloadValidation.passes`` (the CLI exit code).
+    """
+
+    enabled: bool = False
+    scenarios: tuple[str, ...] | None = None
+    profile: str | None = None
+    #: Truncate the scenario set to its first N entries (CLI --scenarios).
+    max_scenarios: int | None = None
+    threshold: float = 0.0
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Cross-cutting knobs for the staged pipeline."""
 
@@ -98,9 +129,13 @@ class PipelineConfig:
     max_steps: int = DEFAULT_MAX_STEPS
     filter_config: FilterConfig | None = None
     spm: SpmConfig = SpmConfig()
+    #: Input ensemble for ``read_samples`` (None = the default spec).
+    input: InputSpec | None = None
+    validation: ValidationConfig = ValidationConfig()
 
     def engine_config(self) -> EngineConfig:
-        return EngineConfig(engine=self.engine, max_steps=self.max_steps)
+        return EngineConfig(engine=self.engine, max_steps=self.max_steps,
+                            input=self.input or InputSpec())
 
 
 def _merge_config(
@@ -175,6 +210,8 @@ compile_cache = ArtifactCache("compile")
 extraction_cache = ArtifactCache("extraction")
 #: Capacity-sweep results by (source, run config, ladder, policy, energy).
 exploration_cache = ArtifactCache("exploration", max_entries=256)
+#: Cross-input validation reports by (profile extraction, replay scenario).
+validation_cache = ArtifactCache("validation", max_entries=256)
 
 
 def clear_caches() -> None:
@@ -182,6 +219,8 @@ def clear_caches() -> None:
     compile_cache.clear()
     extraction_cache.clear()
     exploration_cache.clear()
+    validation_cache.clear()
+    _profile_model_memo.clear()
 
 
 def _content_key(*parts) -> str:
@@ -204,7 +243,14 @@ def _extraction_key(source: str, config: PipelineConfig) -> str:
         config.entry,
         config.max_steps,
         config.filter_config or FilterConfig(),
+        config.input or InputSpec(),
     )
+
+
+def normalize_ladder(capacities: tuple[int, ...]) -> tuple[int, ...]:
+    """Canonical capacity-ladder form: sorted and deduplicated, so
+    equivalent ladders share one exploration-cache entry."""
+    return tuple(sorted(set(capacities)))
 
 
 def exploration_key(
@@ -218,7 +264,7 @@ def exploration_key(
     return _content_key(
         "explore",
         _extraction_key(source, config),
-        capacities,
+        normalize_ladder(capacities),
         policy,
         energy or config.spm.energy,
     )
@@ -240,8 +286,8 @@ def cached_exploration(
     through a returned reference.
     """
     spm_config = config.spm
-    capacities = tuple(capacities if capacities is not None
-                       else spm_config.capacities)
+    capacities = normalize_ladder(capacities if capacities is not None
+                                  else spm_config.capacities)
     policy = AllocatorPolicy(policy if policy is not None
                              else spm_config.allocator)
     energy = energy or spm_config.energy
@@ -277,6 +323,7 @@ class PipelineContext:
     run_result: RunResult | None = None
     extraction: "ExtractionResult | None" = None
     report: "WorkloadReport | None" = None
+    validation: WorkloadValidation | None = None
     flow: "FullFlowResult | None" = None
 
 
@@ -393,6 +440,33 @@ def _stage_analyze(ctx: PipelineContext) -> None:
                                 table2, table3)
 
 
+@register_stage("validate", "cross-input scenario-matrix validation")
+def _stage_validate(ctx: PipelineContext) -> None:
+    """Replay the workload's other input scenarios against the model.
+
+    No-ops unless ``config.validation.enabled`` and ``ctx.name`` resolves
+    to a registered workload that declares a scenario matrix (ad-hoc
+    sources have no scenarios to replay). The context source must match
+    a declared scenario of the named workload — a modified source under
+    a registry name would otherwise be silently "validated" against the
+    pristine registry program.
+    """
+    config = ctx.config
+    if not config.validation.enabled:
+        return
+    from repro.workloads.registry import ALL_WORKLOADS
+
+    workload = ALL_WORKLOADS.get(ctx.name)
+    if workload is None or len(workload.scenarios) < 2:
+        return
+    if not any(
+        workload.source_for(scenario) == ctx.source
+        for scenario in workload.scenarios
+    ):
+        return
+    ctx.validation = validate_workload(ctx.name, config=config)
+
+
 @register_stage("optimize", "Phase II: reuse graph, SPM allocation, sweep")
 def _stage_optimize(ctx: PipelineContext) -> None:
     assert ctx.report is not None
@@ -411,7 +485,8 @@ def _stage_optimize(ctx: PipelineContext) -> None:
                                          energy=energy_model, graph=graph)
     ctx.flow = FullFlowResult(ctx.report, allocation, transformed,
                               energy_model, graph=graph,
-                              exploration=exploration)
+                              exploration=exploration,
+                              validation=ctx.validation)
 
 
 # ---------------------------------------------------------------------------
@@ -488,6 +563,30 @@ def _suite_worker(args: tuple[str, str, PipelineConfig]) -> WorkloadReport:
     return run_workload(name, source, config=config)
 
 
+def _fan_out(tasks: list, worker: Callable, jobs: int) -> list:
+    """Run ``worker`` over ``tasks``, optionally in worker processes.
+
+    The shared fan-out machinery behind :func:`run_suite` and
+    :func:`validate_suite`: ``jobs=0`` uses the CPU count, the pool is
+    capped at the task count, and results come back in task order.
+    """
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(tasks)))
+    if jobs == 1:
+        return [worker(task) for task in tasks]
+
+    import multiprocessing
+
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        mp_context = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=mp_context) as executor:
+        return list(executor.map(worker, tasks))
+
+
 def run_suite(
     names: tuple[str, ...] | None = None,
     filter_config: FilterConfig | None = None,
@@ -506,26 +605,8 @@ def run_suite(
     if config is not None and jobs == 1:
         jobs = config.jobs
     selected = [get_workload(name) for name in (names or workload_names())]
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, len(selected)))
-
-    if jobs == 1:
-        return [
-            run_workload(workload.name, workload.source, config=merged)
-            for workload in selected
-        ]
-
     tasks = [(w.name, w.source, merged) for w in selected]
-    import multiprocessing
-
-    try:
-        mp_context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        mp_context = multiprocessing.get_context()
-    with ProcessPoolExecutor(max_workers=jobs,
-                             mp_context=mp_context) as executor:
-        return list(executor.map(_suite_worker, tasks))
+    return _fan_out(tasks, _suite_worker, jobs)
 
 
 @dataclass
@@ -540,6 +621,8 @@ class FullFlowResult:
     graph: ReuseGraph | None = None
     #: Capacity sweep (only when ``SpmConfig.sweep`` is enabled).
     exploration: tuple[ExplorationPoint, ...] | None = None
+    #: Cross-input stability (only when ``ValidationConfig.enabled``).
+    validation: WorkloadValidation | None = None
 
     @property
     def energy_saving_nj(self) -> float:
@@ -568,3 +651,216 @@ def full_flow(
     run_stages(ctx, upto="optimize")
     assert ctx.flow is not None
     return ctx.flow
+
+
+# ---------------------------------------------------------------------------
+# Cross-input validation: the (workload x scenario) matrix
+# ---------------------------------------------------------------------------
+
+
+def _scenario_config(config: PipelineConfig, scenario) -> PipelineConfig:
+    """The pipeline config that runs one input scenario."""
+    return replace(config, input=scenario.input)
+
+
+def _cached_compiled(source: str, config: PipelineConfig) -> CompiledProgram:
+    """Compile + instrument ``source`` through the registered stages
+    (one code path decides instrumentation and compile-cache policy)."""
+    ctx = run_stages(PipelineContext(source, config), upto="instrument")
+    assert ctx.compiled is not None
+    return ctx.compiled
+
+
+def validation_key(
+    workload, profile, scenario, config: PipelineConfig
+) -> str:
+    """Cache key of one scenario-matrix cell (profile model x replay)."""
+    profile_config = _scenario_config(config, profile)
+    return _content_key(
+        "validate",
+        _extraction_key(workload.source_for(profile), profile_config),
+        workload.source_for(scenario),
+        scenario.input,
+    )
+
+
+def _replay_scenario(
+    workload, profile, scenario, model: ForayModel, config: PipelineConfig
+) -> ValidationReport:
+    """Replay one scenario's trace against ``model``, scored online.
+
+    The replay attaches a :class:`ValidationSink` directly to the engine
+    (batched sink protocol), so the scenario trace is never materialized;
+    finished reports are memoized in ``validation_cache``.
+    """
+    key = validation_key(workload, profile, scenario, config)
+    if config.cache:
+        cached = validation_cache.get(key)
+        if cached is not None:
+            return cached
+    compiled = _cached_compiled(workload.source_for(scenario), config)
+    sink = ValidationSink(model, compiled.checkpoint_map)
+    scenario_config = _scenario_config(config, scenario)
+    run_compiled(
+        compiled,
+        sinks=(sink,),
+        entry=config.entry,
+        config=scenario_config.engine_config(),
+    )
+    report = sink.finish()
+    if config.cache:
+        validation_cache.put(key, report)
+    return report
+
+
+def _select_scenarios(workload, validation: ValidationConfig) -> list:
+    """The scenario subset one validation run covers, profile first."""
+    if len(workload.scenarios) < 2:
+        raise ValueError(
+            f"workload {workload.name!r} declares no scenario matrix; "
+            "cross-input validation needs at least two scenarios"
+        )
+    if validation.max_scenarios is not None and validation.max_scenarios < 2:
+        raise ValueError(
+            "max_scenarios must be >= 2 (the profile scenario plus at "
+            f"least one replay), got {validation.max_scenarios}"
+        )
+    scenarios = list(workload.scenarios)
+    if validation.scenarios:
+        scenarios = [workload.scenario(name) for name in validation.scenarios]
+    profile_name = validation.profile or scenarios[0].name
+    try:
+        profile = workload.scenario(profile_name)
+    except KeyError:
+        raise ValueError(
+            f"workload {workload.name!r} declares no scenario "
+            f"{profile_name!r} to profile on; known: "
+            f"{', '.join(workload.scenario_names())}"
+        ) from None
+    scenarios = [profile] + [s for s in scenarios if s.name != profile.name]
+    if validation.max_scenarios is not None:
+        scenarios = scenarios[: validation.max_scenarios]
+    return scenarios
+
+
+#: Run-scoped memo of profile models by extraction key. The profile
+#: extraction (a full simulation) is the expensive half of a matrix cell
+#: and every cell of one workload needs the same model, so it is kept
+#: even under ``cache=False``: bypassing the artifact caches means "do
+#: not reuse artifacts across runs", not "re-simulate the identical
+#: profile once per scenario". Each fan-out worker process fills its own.
+_profile_model_memo: dict[str, ForayModel] = {}
+_PROFILE_MEMO_LIMIT = 16
+
+
+def _profile_model(workload, profile, config: PipelineConfig) -> ForayModel:
+    """The FORAY model extracted on the profile scenario (memoized)."""
+    profile_config = _scenario_config(config, profile)
+    key = _extraction_key(workload.source_for(profile), profile_config)
+    model = _profile_model_memo.get(key)
+    if model is None:
+        extraction = extract_foray_model(
+            workload.source_for(profile), config=profile_config
+        )
+        model = extraction.model
+        while len(_profile_model_memo) >= _PROFILE_MEMO_LIMIT:
+            _profile_model_memo.pop(next(iter(_profile_model_memo)))
+        _profile_model_memo[key] = model
+    return model
+
+
+def _validation_cell_worker(
+    args: tuple[str, str, str, PipelineConfig]
+) -> ScenarioValidation:
+    """One (workload x scenario) matrix cell, self-contained for fan-out."""
+    name, profile_name, scenario_name, config = args
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    profile = workload.scenario(profile_name)
+    scenario = workload.scenario(scenario_name)
+    model = _profile_model(workload, profile, config)
+    report = _replay_scenario(workload, profile, scenario, model, config)
+    return ScenarioValidation(name, scenario.name, profile.name,
+                              config.engine, report)
+
+
+def _assemble_validation(
+    name: str, profile_name: str, scenario_count: int,
+    cells: list[ScenarioValidation],
+) -> WorkloadValidation:
+    self_cells = [c for c in cells if c.scenario == profile_name]
+    cross = tuple(c for c in cells if c.scenario != profile_name)
+    return WorkloadValidation(
+        workload=name,
+        profile=profile_name,
+        scenario_count=scenario_count,
+        self_validation=self_cells[0].report,
+        cross=cross,
+    )
+
+
+def validate_workload(
+    name: str,
+    config: PipelineConfig | None = None,
+) -> WorkloadValidation:
+    """Cross-input validation of one workload over its scenario matrix.
+
+    Extracts the model on the profile scenario (``config.validation``
+    selects it; the nominal scenario by default), replays every other
+    scenario's trace against it, and scores per-reference accuracy. The
+    profile scenario itself is replayed too — the self-validation row on
+    which full references must score 100%.
+    """
+    config = config or PipelineConfig()
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    scenarios = _select_scenarios(workload, config.validation)
+    profile = scenarios[0]
+    cells = [
+        _validation_cell_worker((name, profile.name, scenario.name, config))
+        for scenario in scenarios
+    ]
+    return _assemble_validation(name, profile.name, len(scenarios), cells)
+
+
+def validate_suite(
+    names: tuple[str, ...] | None = None,
+    jobs: int = 1,
+    config: PipelineConfig | None = None,
+) -> list[WorkloadValidation]:
+    """The full scenario matrix: every (workload x scenario) cell.
+
+    Cells — not workloads — are the unit of fan-out, so ``jobs=N`` load-
+    balances the ~3x-larger matrix over the same worker-process machinery
+    ``run_suite`` uses; results come back grouped per workload, in suite
+    order.
+    """
+    from repro.workloads.registry import get_workload, workload_names
+
+    config = config or PipelineConfig()
+    if jobs == 1:
+        jobs = config.jobs
+    selected = [get_workload(n) for n in (names or workload_names())]
+    plans: list[tuple[str, str, int]] = []
+    tasks: list[tuple[str, str, str, PipelineConfig]] = []
+    for workload in selected:
+        scenarios = _select_scenarios(workload, config.validation)
+        profile = scenarios[0]
+        plans.append((workload.name, profile.name, len(scenarios)))
+        tasks.extend(
+            (workload.name, profile.name, scenario.name, config)
+            for scenario in scenarios
+        )
+    cells = _fan_out(tasks, _validation_cell_worker, jobs)
+
+    results: list[WorkloadValidation] = []
+    offset = 0
+    for name, profile_name, count in plans:
+        group = cells[offset : offset + count]
+        offset += count
+        results.append(
+            _assemble_validation(name, profile_name, count, group)
+        )
+    return results

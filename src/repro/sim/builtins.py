@@ -193,11 +193,9 @@ def call_builtin(machine, name: str, args: list) -> object:
         raise ExitSignal(int(args[0]))
     if name == "read_samples":
         buf, count = int(args[0]), int(args[1])
+        stream = machine.input_stream
         for index in range(count):
-            machine.input_state = (
-                machine.input_state * _RAND_MULTIPLIER + _RAND_INCREMENT
-            ) & _RAND_MASK
-            sample = (machine.input_state >> 8) % 1024 - 512
+            sample = stream.next_sample()
             machine.lib_store("read_samples", buf + 4 * index, sample, 4)
         return count
 

@@ -52,6 +52,7 @@ from repro.lang.errors import MiniCRuntimeError
 from repro.lang.semantics import Symbol
 from repro.sim import builtins as libc
 from repro.sim.builtins import ExitSignal
+from repro.sim.inputs import InputSpec, InputStream
 from repro.sim.interpreter import ExecLimitExceeded, RunStats
 from repro.sim.memory import (
     GLOBAL_BASE,
@@ -1082,7 +1083,7 @@ class BytecodeVM:
 
     Exposes the same builtin facade as the tree-walking interpreter
     (``write_stdout`` / ``heap_alloc`` / ``lib_load`` / ``lib_store`` plus
-    the deterministic ``rand_state`` / ``input_state``), so
+    the deterministic ``rand_state`` / ``input_stream``), so
     :mod:`repro.sim.builtins` runs unchanged on both engines.
     """
 
@@ -1093,6 +1094,7 @@ class BytecodeVM:
         max_steps: int = 200_000_000,
         max_call_depth: int = 512,
         trace_block_size: int = DEFAULT_TRACE_BLOCK,
+        input_spec: InputSpec | None = None,
     ):
         self.bytecode = bytecode
         self.program = bytecode.program
@@ -1111,7 +1113,8 @@ class BytecodeVM:
         self.stats = RunStats()
         self.stdout = ""
         self.rand_state = 1  # deterministic rand() seed
-        self.input_state = 20050307  # deterministic read_samples() stream
+        #: Sample source of the read_samples() builtin (seeded ensemble).
+        self.input_stream = InputStream(input_spec)
 
         self._acc_buf: list[tuple[int, int, int, bool]] = []
         self._cp_buf: list[tuple[int, int, int]] = []

@@ -36,6 +36,7 @@ from repro.lang.ctypes_ import (
 from repro.lang.errors import MiniCRuntimeError
 from repro.lang.semantics import Symbol
 from repro.sim import builtins as libc
+from repro.sim.inputs import InputSpec, InputStream
 from repro.sim.builtins import ExitSignal
 from repro.sim.memory import (
     GLOBAL_BASE,
@@ -104,6 +105,7 @@ class Interpreter:
         max_steps: int = 200_000_000,
         max_call_depth: int = 512,
         trace_block_size: int = DEFAULT_TRACE_BLOCK,
+        input_spec: InputSpec | None = None,
     ):
         self.program = program
         self._sinks = tuple(sinks)
@@ -126,7 +128,8 @@ class Interpreter:
         self.stats = RunStats()
         self.stdout = ""
         self.rand_state = 1  # deterministic rand() seed
-        self.input_state = 20050307  # deterministic read_samples() stream
+        #: Sample source of the read_samples() builtin (seeded ensemble).
+        self.input_stream = InputStream(input_spec)
 
         self._layout_globals()
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.instrument.checkpoints import instrument
 from repro.lang import ast_nodes as ast
 from repro.lang.semantics import parse_and_analyze
+from repro.sim.inputs import InputSpec
 from repro.sim.interpreter import Interpreter, RunStats
 from repro.sim.trace import (
     DEFAULT_TRACE_BLOCK,
@@ -49,6 +50,8 @@ class EngineConfig:
     max_steps: int = 200_000_000
     max_call_depth: int = 512
     trace_block_size: int = DEFAULT_TRACE_BLOCK
+    #: Input ensemble consumed by the ``read_samples`` builtin.
+    input: InputSpec = InputSpec()
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -131,6 +134,7 @@ def run_compiled(
             max_steps=config.max_steps,
             max_call_depth=config.max_call_depth,
             trace_block_size=config.trace_block_size,
+            input_spec=config.input,
         )
     else:
         from repro.sim.bytecode import BytecodeVM
@@ -141,6 +145,7 @@ def run_compiled(
             max_steps=config.max_steps,
             max_call_depth=config.max_call_depth,
             trace_block_size=config.trace_block_size,
+            input_spec=config.input,
         )
     exit_code = machine.run(entry)
     return RunResult(exit_code, machine.stdout, machine.stats, machine)

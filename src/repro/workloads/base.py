@@ -1,8 +1,48 @@
-"""Workload descriptor shared by the mini-MiBench suite and figure programs."""
+"""Workload descriptor shared by the mini-MiBench suite and figure
+programs, plus the input-scenario matrix.
+
+A :class:`Workload` optionally declares a set of :class:`InputScenario`\\ s
+— seeded, parameterized input ensembles. Scenario inputs come from two
+orthogonal mechanisms:
+
+* a :class:`~repro.sim.inputs.InputSpec` consumed by the ``read_samples``
+  builtin (workloads that stage their input through the library);
+* numeric *source parameters* substituted into ``source_template``
+  (workloads that synthesize their input in-program, and scale knobs such
+  as frame counts).
+
+Source parameters may only change numeric literals, never code shape, so
+every scenario of a workload compiles to the same AST skeleton: checkpoint
+ids and synthetic pcs line up across scenarios, which is what lets
+:mod:`repro.foray.validate` replay one scenario's trace against a model
+extracted from another. The first declared scenario is the *nominal*
+profiling scenario and must render exactly ``source`` (enforced at
+construction), so the scenario matrix never perturbs the paper tables.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import string
+from dataclasses import dataclass, field
+
+from repro.sim.inputs import InputSpec
+
+
+def scenario_params(**params: int) -> tuple[tuple[str, int], ...]:
+    """Hashable source-parameter set for an :class:`InputScenario`."""
+    return tuple(sorted(params.items()))
+
+
+@dataclass(frozen=True)
+class InputScenario:
+    """One named input ensemble of a workload's scenario matrix."""
+
+    name: str
+    description: str
+    #: Sample ensemble pulled by the ``read_samples`` builtin.
+    input: InputSpec = InputSpec()
+    #: Numeric substitutions applied to the workload's source template.
+    params: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -18,3 +58,47 @@ class Workload:
     source: str
     description: str
     paper_counterpart: str | None = None
+    #: ``string.Template`` text with ``${param}`` placeholders; None when
+    #: all scenarios share the nominal source verbatim.
+    source_template: str | None = field(default=None, repr=False)
+    #: Input-scenario matrix; index 0 is the nominal profiling scenario.
+    scenarios: tuple[InputScenario, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"workload {self.name!r}: duplicate scenario names")
+        if self.scenarios and self.source_for(self.scenarios[0]) != self.source:
+            raise ValueError(
+                f"workload {self.name!r}: the nominal scenario "
+                f"{self.scenarios[0].name!r} must render the exact "
+                "workload source"
+            )
+
+    @property
+    def profile_scenario(self) -> InputScenario | None:
+        """The nominal scenario models are extracted from by default."""
+        return self.scenarios[0] if self.scenarios else None
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return tuple(scenario.name for scenario in self.scenarios)
+
+    def scenario(self, name: str) -> InputScenario:
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        known = ", ".join(self.scenario_names()) or "<none>"
+        raise KeyError(
+            f"workload {self.name!r} has no scenario {name!r}; known: {known}"
+        )
+
+    def source_for(self, scenario: "InputScenario | str") -> str:
+        """The MiniC source of one scenario (the nominal source when the
+        workload has no template)."""
+        if isinstance(scenario, str):
+            scenario = self.scenario(scenario)
+        if self.source_template is None:
+            return self.source
+        return string.Template(self.source_template).substitute(
+            dict(scenario.params)
+        )

@@ -19,7 +19,8 @@ Reproduction of that shape:
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+from repro.sim.inputs import InputSpec
+from repro.workloads.base import InputScenario, Workload
 
 SOURCE = """
 /* mini-adpcm: IMA-style encoder over 4096 samples read from "file". */
@@ -101,9 +102,22 @@ int main() {
 }
 """
 
+SCENARIOS = (
+    InputScenario("nominal", "uniform PCM noise (the legacy profiling input)"),
+    InputScenario("silence", "all-zero input: the encoder step logic idles",
+                  input=InputSpec(distribution="constant", amplitude=0)),
+    InputScenario("soft-walk", "low-amplitude random walk (speech-like)",
+                  input=InputSpec(seed=9377, distribution="walk",
+                                  amplitude=256)),
+    InputScenario("impulse-train", "sparse full-scale spikes every 32 samples",
+                  input=InputSpec(distribution="impulse", amplitude=500,
+                                  period=32)),
+)
+
 WORKLOAD = Workload(
     name="adpcm",
     source=SOURCE,
     description="IMA-style ADPCM encoder over 4096 library-read samples",
     paper_counterpart="adpcm (MiBench telecomm)",
+    scenarios=SCENARIOS,
 )

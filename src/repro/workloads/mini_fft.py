@@ -21,10 +21,13 @@ This workload reproduces those properties:
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+import string
 
-SOURCE = """
-/* mini-fft: 48 frames of a 32-point radix-2 FFT, fully unrolled stages. */
+from repro.sim.inputs import InputSpec
+from repro.workloads.base import InputScenario, Workload, scenario_params
+
+SOURCE_TEMPLATE = """
+/* mini-fft: ${frames} frames of a 32-point radix-2 FFT, fully unrolled stages. */
 
 double re[32];
 double im[32];
@@ -157,7 +160,7 @@ int main() {
     int acc = 0;
     build_revtab();
     read_samples(input, 1536);  /* stage the PCM input via the library */
-    for (frame = 0; frame < 48; frame++) {
+    for (frame = 0; frame < ${frames}; frame++) {
         for (i = 0; i < 32; i++) {
             re[i] = (double)input[32 * frame + i];
             im[i] = 0.0;
@@ -181,9 +184,29 @@ int main() {
 }
 """
 
+_NOMINAL_PARAMS = scenario_params(frames=48)
+
+SOURCE = string.Template(SOURCE_TEMPLATE).substitute(dict(_NOMINAL_PARAMS))
+
+SCENARIOS = (
+    InputScenario("nominal", "48 frames of uniform noise (legacy input)",
+                  params=_NOMINAL_PARAMS),
+    InputScenario("silence", "all-zero PCM: spectra collapse to zero",
+                  input=InputSpec(distribution="constant", amplitude=0),
+                  params=_NOMINAL_PARAMS),
+    InputScenario("chirp-ramp", "sawtooth sweep: tonal, highly correlated",
+                  input=InputSpec(seed=11, distribution="ramp",
+                                  amplitude=1000, period=37),
+                  params=_NOMINAL_PARAMS),
+    InputScenario("short-input", "data scale: only 12 of 48 frames present",
+                  params=scenario_params(frames=12)),
+)
+
 WORKLOAD = Workload(
     name="fft",
     source=SOURCE,
     description="48 frames of an unrolled 32-point radix-2 FFT",
     paper_counterpart="fft (MiBench telecomm)",
+    source_template=SOURCE_TEMPLATE,
+    scenarios=SCENARIOS,
 )

@@ -17,7 +17,8 @@ bounds, and a statically-visible table initialization.
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+from repro.sim.inputs import InputSpec
+from repro.workloads.base import InputScenario, Workload
 
 SOURCE = """
 /* mini-gsm: 12 frames of LPC autocorrelation + LTP search + filtering. */
@@ -127,9 +128,22 @@ int main() {
 }
 """
 
+SCENARIOS = (
+    InputScenario("nominal", "uniform speech-band noise (legacy input)"),
+    InputScenario("voiced-walk", "correlated random walk: strong LTP matches",
+                  input=InputSpec(seed=4242, distribution="walk",
+                                  amplitude=600)),
+    InputScenario("impulse-train", "glottal-pulse-like spikes every 40 samples",
+                  input=InputSpec(distribution="impulse", amplitude=511,
+                                  period=40)),
+    InputScenario("silence", "all-zero frames: autocorrelation degenerates",
+                  input=InputSpec(distribution="constant", amplitude=0)),
+)
+
 WORKLOAD = Workload(
     name="gsm",
     source=SOURCE,
     description="12 frames of GSM-style LPC analysis, LTP search, filtering",
     paper_counterpart="gsm (MiBench telecomm)",
+    scenarios=SCENARIOS,
 )

@@ -17,9 +17,11 @@ from this benchmark):
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+import string
 
-SOURCE = """
+from repro.workloads.base import InputScenario, Workload, scenario_params
+
+SOURCE_TEMPLATE = """
 /* mini-jpeg: 48x48 3-component encode: level shift, DCT, quant, entropy. */
 
 struct jpeg_config {
@@ -49,7 +51,7 @@ void make_input() {
     char *p = input;
     while (currow < 48) {
         for (i = 0; i < 144; i++) {
-            *p++ = (char)((currow * 7 + i * 3) % 255);
+            *p++ = (char)((currow * ${row_step} + i * ${col_step}) % ${modulus});
         }
         currow++;
     }
@@ -193,9 +195,26 @@ int main() {
 }
 """
 
+_NOMINAL_PARAMS = scenario_params(row_step=7, col_step=3, modulus=255)
+
+SOURCE = string.Template(SOURCE_TEMPLATE).substitute(dict(_NOMINAL_PARAMS))
+
+SCENARIOS = (
+    InputScenario("nominal", "diagonal gradient test image (legacy input)",
+                  params=_NOMINAL_PARAMS),
+    InputScenario("flat-image", "constant-black image: DC-only blocks",
+                  params=scenario_params(row_step=0, col_step=0,
+                                         modulus=255)),
+    InputScenario("high-contrast", "steep co-prime gradients: busy spectra",
+                  params=scenario_params(row_step=31, col_step=17,
+                                         modulus=251)),
+)
+
 WORKLOAD = Workload(
     name="jpeg",
     source=SOURCE,
     description="48x48x3 JPEG-style encode: DCT blocks, quant, entropy pack",
     paper_counterpart="jpeg/cjpeg (MiBench consumer)",
+    source_template=SOURCE_TEMPLATE,
+    scenarios=SCENARIOS,
 )

@@ -14,7 +14,8 @@ quantization loops). Shape targets:
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+from repro.sim.inputs import InputSpec
+from repro.workloads.base import InputScenario, Workload
 
 SOURCE = """
 /* mini-lame: 12 frames of subband analysis + MDCT + iterative quant. */
@@ -184,10 +185,23 @@ int main() {
 }
 """
 
+SCENARIOS = (
+    InputScenario("nominal", "uniform PCM noise (the legacy profiling input)"),
+    InputScenario("loud-walk", "hot-level correlated signal: deep quant loops",
+                  input=InputSpec(seed=1234, distribution="walk",
+                                  amplitude=2000)),
+    InputScenario("saw-ramp", "periodic sawtooth sweep across the range",
+                  input=InputSpec(distribution="ramp", amplitude=1500,
+                                  period=48)),
+    InputScenario("silence", "digital silence: quantizer exits first pass",
+                  input=InputSpec(distribution="constant", amplitude=0)),
+)
+
 WORKLOAD = Workload(
     name="lame",
     source=SOURCE,
     description="12 frames of subband analysis, MDCT, psychoacoustics and "
                 "iterative quantization",
     paper_counterpart="lame (MiBench consumer)",
+    scenarios=SCENARIOS,
 )

@@ -22,9 +22,11 @@ Reproduced shapes:
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+import string
 
-SOURCE = """
+from repro.workloads.base import InputScenario, Workload, scenario_params
+
+SOURCE_TEMPLATE = """
 /* mini-mpeg2: one 48x32 P-frame decode: MC + residual add + frame SAD. */
 
 struct seq_params {
@@ -51,7 +53,7 @@ void make_reference() {
     char *p = ref_frame;
     while (row < 48) {
         for (i = 0; i < 64; i++) {
-            *p++ = (char)((row * 3 + i * 5) % 200);
+            *p++ = (char)((row * ${row_k} + i * ${col_k}) % 200);
         }
         row++;
     }
@@ -69,8 +71,8 @@ void estimate_motion() {
        Vectors stay in {0,1} so interpolation windows remain in frame. */
     int mb;
     for (mb = 0; mb < seq.mb_w * seq.mb_h; mb++) {
-        mvx[mb] = mb % 2;
-        mvy[mb] = (mb / seq.mb_w) % 2;
+        mvx[mb] = mb % ${mv_mod};
+        mvy[mb] = (mb / seq.mb_w) % ${mv_mod};
     }
 }
 
@@ -151,10 +153,28 @@ int main() {
 }
 """
 
+_NOMINAL_PARAMS = scenario_params(row_k=3, col_k=5, mv_mod=2)
+
+SOURCE = string.Template(SOURCE_TEMPLATE).substitute(dict(_NOMINAL_PARAMS))
+
+SCENARIOS = (
+    InputScenario("nominal", "textured reference frame, mixed motion "
+                             "(legacy input)",
+                  params=_NOMINAL_PARAMS),
+    InputScenario("still-scene", "zero motion vectors: MC windows never "
+                                 "shift",
+                  params=scenario_params(row_k=3, col_k=5, mv_mod=1)),
+    InputScenario("flat-frame", "constant reference frame: residual "
+                                "dominates",
+                  params=scenario_params(row_k=0, col_k=0, mv_mod=2)),
+)
+
 WORKLOAD = Workload(
     name="mpeg2",
     source=SOURCE,
     description="48x32 P-frame decode: half-pel MC, residual add, frame SAD",
     paper_counterpart="mpeg2/mpeg2dec (MediaBench video; beyond the paper's "
                       "MiBench six)",
+    source_template=SOURCE_TEMPLATE,
+    scenarios=SCENARIOS,
 )

@@ -14,9 +14,11 @@ Shape targets from the paper:
 
 from __future__ import annotations
 
-from repro.workloads.base import Workload
+import string
 
-SOURCE = """
+from repro.workloads.base import InputScenario, Workload, scenario_params
+
+SOURCE_TEMPLATE = """
 /* mini-susan: 48x48 smoothing + USAN response + thresholding. */
 
 char image[2304];
@@ -38,7 +40,7 @@ void build_lut() {
 void make_image() {
     int i;
     for (i = 0; i < 2304; i++) {
-        image[i] = (char)(((i / 48) * 5 + (i % 48) * 3 + i % 7) % 200);
+        image[i] = (char)(((i / 48) * ${row_gain} + (i % 48) * ${col_gain} + i % ${noise_mod}) % 200);
     }
 }
 
@@ -130,9 +132,28 @@ int main() {
 }
 """
 
+_NOMINAL_PARAMS = scenario_params(row_gain=5, col_gain=3, noise_mod=7)
+
+SOURCE = string.Template(SOURCE_TEMPLATE).substitute(dict(_NOMINAL_PARAMS))
+
+SCENARIOS = (
+    InputScenario("nominal", "textured gradient scene (legacy input)",
+                  params=_NOMINAL_PARAMS),
+    InputScenario("flat-scene", "near-constant image: responses below "
+                                "threshold everywhere",
+                  params=scenario_params(row_gain=0, col_gain=0,
+                                         noise_mod=7)),
+    InputScenario("steep-gradient", "high-frequency scene: dense corner "
+                                    "responses",
+                  params=scenario_params(row_gain=23, col_gain=11,
+                                         noise_mod=13)),
+)
+
 WORKLOAD = Workload(
     name="susan",
     source=SOURCE,
     description="48x48 SUSAN-style smoothing, USAN response, thresholding",
     paper_counterpart="susan (MiBench automotive)",
+    source_template=SOURCE_TEMPLATE,
+    scenarios=SCENARIOS,
 )

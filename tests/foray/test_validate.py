@@ -2,9 +2,22 @@
 
 from repro.foray.extractor import ForayExtractor
 from repro.foray.filters import FilterConfig
-from repro.foray.validate import validate_model
+from repro.foray.model import (
+    AffineExpression,
+    ForayLoop,
+    ForayModel,
+    ForayReference,
+)
+from repro.foray.validate import ValidationSink, validate_model
 from repro.sim.machine import compile_program, run_compiled
-from repro.sim.trace import TraceCollector
+from repro.sim.trace import (
+    Access,
+    Checkpoint,
+    CheckpointInfo,
+    CheckpointKind,
+    CheckpointMap,
+    TraceCollector,
+)
 
 RELAXED = FilterConfig(nexec=1, nloc=1)
 
@@ -101,7 +114,13 @@ class TestCrossInputValidation:
         _, _, compiled = profile(AFFINE)
         report = validate_model(model_a, [], compiled.checkpoint_map)
         assert report.unexercised == len(model_a.references)
-        assert report.overall_accuracy == 1.0  # vacuous
+        assert report.overall_accuracy == 1.0  # vacuous: nothing scored
+        # Regression: an unexercised reference demonstrated nothing, so
+        # its per-reference accuracy must read 0.0, not a vacuous 1.0.
+        assert all(v.accuracy == 0.0 for v in report.per_reference)
+        assert not any(v.exercised for v in report.per_reference)
+        assert report.unexercised_share == 1.0
+        assert "100% of references" in report.summary()
 
     def test_library_accesses_ignored(self):
         source = """
@@ -112,3 +131,99 @@ class TestCrossInputValidation:
         model, collector, compiled = profile(source)
         report = validate_model(model, collector.records, compiled.checkpoint_map)
         assert report.total_checked == 64  # only the user store
+
+
+def _one_loop_map() -> CheckpointMap:
+    cmap = CheckpointMap()
+    cmap.add(CheckpointInfo(1, CheckpointKind.LOOP_BEGIN, 10, "for"))
+    cmap.add(CheckpointInfo(2, CheckpointKind.BODY_BEGIN, 10, "for"))
+    cmap.add(CheckpointInfo(3, CheckpointKind.BODY_END, 10, "for"))
+    return cmap
+
+
+def _one_loop_trace(pc, addrs):
+    records = [Checkpoint(1, CheckpointKind.LOOP_BEGIN)]
+    for addr in addrs:
+        records.append(Checkpoint(2, CheckpointKind.BODY_BEGIN))
+        records.append(Access(pc, addr, 4, True))
+        records.append(Checkpoint(3, CheckpointKind.BODY_END))
+    return records
+
+
+class TestShallowTraceRegression:
+    """A replayed nest shallower than the expression must score
+    mispredictions, not zip-truncate into garbage matches."""
+
+    PC = 0x400008
+
+    def _deep_model(self):
+        loop = ForayLoop(begin_id=1, kind="for", depth=1, max_trip=4,
+                         min_trip=4, entries=1, total_iterations=4)
+        # The expression claims two iterators, but the reference sits
+        # under a single loop in the replayed trace.
+        expression = AffineExpression(const=1000, coefficients=(4, 64),
+                                      num_iterators=2)
+        reference = ForayReference(pc=self.PC, loop_path=(loop,),
+                                   expression=expression, exec_count=4,
+                                   footprint=16, reads=0, writes=4)
+        return ForayModel(references=[reference])
+
+    def test_shallow_iterators_score_as_mispredictions(self):
+        model = self._deep_model()
+        # addr == const: the old zip-truncating code "predicted" the
+        # first access (4*0 == 0) even though the second iterator is
+        # missing entirely.
+        records = _one_loop_trace(self.PC, [1000, 1004, 1008, 1012])
+        report = validate_model(model, records, _one_loop_map())
+        validation = report.per_reference[0]
+        assert validation.checked == 4
+        assert validation.predicted == 0
+        assert validation.accuracy == 0.0
+        assert report.unexercised == 0  # exercised, just unpredictable
+
+    def test_matching_depth_still_scores_normally(self):
+        loop = ForayLoop(begin_id=1, kind="for", depth=1, max_trip=4,
+                         min_trip=4, entries=1, total_iterations=4)
+        expression = AffineExpression(const=1000, coefficients=(4,),
+                                      num_iterators=1)
+        reference = ForayReference(pc=self.PC, loop_path=(loop,),
+                                   expression=expression, exec_count=4,
+                                   footprint=16, reads=0, writes=4)
+        model = ForayModel(references=[reference])
+        records = _one_loop_trace(self.PC, [1000, 1004, 1008, 1012])
+        report = validate_model(model, records, _one_loop_map())
+        assert report.overall_accuracy == 1.0
+
+
+class TestValidationSinkProtocol:
+    """The streaming sink must agree with the offline record replay on
+    both protocol entry points."""
+
+    def test_emit_block_matches_emit(self):
+        model, collector, compiled = profile(AFFINE)
+        offline = validate_model(model, collector.records,
+                                 compiled.checkpoint_map)
+
+        # Re-run the program with the sink attached live (batched path).
+        sink = ValidationSink(model, compiled.checkpoint_map)
+        run_compiled(compiled, sinks=(sink,))
+        online = sink.finish()
+        assert online.total_checked == offline.total_checked
+        assert online.total_predicted == offline.total_predicted
+        assert online.unexercised == offline.unexercised
+        assert [
+            (v.reference.pc, v.checked, v.predicted)
+            for v in online.per_reference
+        ] == [
+            (v.reference.pc, v.checked, v.predicted)
+            for v in offline.per_reference
+        ]
+
+    def test_full_accuracy_restricted_to_full_references(self):
+        model, collector, compiled = profile(AFFINE)
+        report = validate_model(model, collector.records,
+                                compiled.checkpoint_map)
+        assert model.full_references()
+        assert report.full_accuracy == 1.0
+        worst = report.worst_reference()
+        assert worst is not None and worst.accuracy == 1.0

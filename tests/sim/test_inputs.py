@@ -1,0 +1,122 @@
+"""Tests for the parameterized input ensembles (sim/inputs.py)."""
+
+import pytest
+
+from repro.sim.inputs import DEFAULT_SEED, InputSpec, InputStream
+from repro.sim.machine import EngineConfig, compile_program, run_compiled
+from repro.sim.trace import TraceCollector
+
+#: The legacy hard-coded generator, reproduced literally.
+_MULT, _INC, _MASK = 1103515245, 12345, 0x7FFFFFFF
+
+
+def legacy_samples(count, seed=DEFAULT_SEED):
+    state = seed
+    out = []
+    for _ in range(count):
+        state = (state * _MULT + _INC) & _MASK
+        out.append((state >> 8) % 1024 - 512)
+    return out
+
+
+class TestInputSpec:
+    def test_default_is_legacy_stream(self):
+        stream = InputStream()
+        assert [stream.next_sample() for _ in range(64)] == legacy_samples(64)
+
+    def test_stream_continues_across_calls(self):
+        # Two reads of 8 equal one read of 16 (one "file", read twice).
+        stream = InputStream()
+        first = [stream.next_sample() for _ in range(8)]
+        second = [stream.next_sample() for _ in range(8)]
+        assert first + second == legacy_samples(16)
+
+    def test_seed_changes_uniform_stream(self):
+        a = InputStream(InputSpec(seed=1))
+        b = InputStream(InputSpec(seed=2))
+        assert [a.next_sample() for _ in range(32)] != [
+            b.next_sample() for _ in range(32)
+        ]
+
+    def test_constant(self):
+        stream = InputStream(InputSpec(distribution="constant", amplitude=7))
+        assert [stream.next_sample() for _ in range(5)] == [7] * 5
+
+    def test_impulse_period(self):
+        spec = InputSpec(distribution="impulse", amplitude=100, period=4)
+        stream = InputStream(spec)
+        assert [stream.next_sample() for _ in range(8)] == [
+            100, 0, 0, 0, 100, 0, 0, 0,
+        ]
+
+    def test_ramp_spans_amplitude(self):
+        spec = InputSpec(distribution="ramp", amplitude=100, period=5)
+        stream = InputStream(spec)
+        samples = [stream.next_sample() for _ in range(10)]
+        assert samples[:5] == samples[5:]  # periodic
+        assert min(samples) == -50 and max(samples) == 50
+
+    def test_walk_is_bounded_and_seeded(self):
+        spec = InputSpec(seed=7, distribution="walk", amplitude=64)
+        samples = [InputStream(spec).next_sample() for _ in range(1)]
+        stream = InputStream(spec)
+        walk = [stream.next_sample() for _ in range(500)]
+        assert walk[0] == samples[0]  # deterministic
+        assert all(-32 <= value <= 32 for value in walk)
+        assert len(set(walk)) > 1  # it moves
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError, match="unknown input distribution"):
+            InputSpec(distribution="fractal")
+
+
+READER = """
+int buf[16];
+int main() {
+    int i;
+    int acc = 0;
+    read_samples(buf, 16);
+    for (i = 0; i < 16; i++) { acc += buf[i]; }
+    printf("sum %d\\n", acc);
+    return 0;
+}
+"""
+
+
+def run_reader(engine, spec=None):
+    compiled = compile_program(READER)
+    collector = TraceCollector()
+    config = EngineConfig(engine=engine, input=spec or InputSpec())
+    result = run_compiled(compiled, sinks=(collector,), config=config)
+    return result, collector
+
+
+class TestEngineThreading:
+    @pytest.mark.parametrize("engine", ["ast", "bytecode"])
+    def test_default_matches_legacy(self, engine):
+        result, _ = run_reader(engine)
+        assert result.exit_code == 0
+        assert result.stdout == f"sum {sum(legacy_samples(16))}\n"
+
+    @pytest.mark.parametrize("engine", ["ast", "bytecode"])
+    def test_config_spec_reaches_builtin(self, engine):
+        spec = InputSpec(distribution="constant", amplitude=3)
+        result, _ = run_reader(engine, spec)
+        assert result.stdout == "sum 48\n"
+
+    def test_engines_agree_on_custom_spec(self):
+        spec = InputSpec(seed=77, distribution="walk", amplitude=128)
+        _, ast_trace = run_reader("ast", spec)
+        _, bc_trace = run_reader("bytecode", spec)
+        assert ast_trace.records == bc_trace.records
+
+    def test_spec_changes_trace_values_not_shape(self):
+        _, nominal = run_reader("bytecode")
+        _, silent = run_reader(
+            "bytecode", InputSpec(distribution="constant", amplitude=0))
+        # Same access pattern (addresses/pcs), different stored values are
+        # invisible to the address trace — but the simulated memory sums
+        # differ, which the checksum store would expose via stdout if
+        # printed. Here: identical record streams by construction.
+        assert [type(r) for r in nominal] == [type(r) for r in silent]
+        assert len(nominal) == len(silent)

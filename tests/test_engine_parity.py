@@ -108,3 +108,30 @@ def test_generated_nest_parity(stride, offset, trips, use_pointer):
     assert bc_result.exit_code == ast_result.exit_code
     assert bc_trace.records == ast_trace.records
     assert bc_model == ast_model
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+def test_validation_report_parity(name, suite_reports):
+    """Both engines must produce identical cross-input validation reports
+    for every registered workload's scenario matrix (figure examples have
+    no scenarios and are skipped by construction)."""
+    from repro.foray.validate import ValidationSink
+
+    workload = ALL_WORKLOADS[name]
+    if len(workload.scenarios) < 2:
+        pytest.skip("no scenario matrix declared")
+    model = suite_reports[name].model
+
+    # Replay the profile scenario and one cross scenario on both engines.
+    for scenario in workload.scenarios[:2]:
+        reports = {}
+        for engine in ("ast", "bytecode"):
+            compiled = compile_program(workload.source_for(scenario))
+            sink = ValidationSink(model, compiled.checkpoint_map)
+            run_compiled(
+                compiled, sinks=(sink,),
+                config=EngineConfig(engine=engine, input=scenario.input),
+            )
+            reports[engine] = sink.finish()
+        assert reports["bytecode"] == reports["ast"], scenario.name
+        assert reports["bytecode"].unexercised == 0
