@@ -1,0 +1,103 @@
+"""Cold-vs-warm suite wall-clock through the disk artifact store.
+
+The paper's pitch is that profile-based model extraction is a one-time
+cost amortized over many optimization runs. The disk-backed
+:class:`~repro.store.ArtifactStore` makes that hold across process
+boundaries, so these benches measure the amortization directly with real
+CLI subprocesses sharing one cache directory:
+
+* a **cold** suite run against an empty store (profiles everything and
+  publishes the artifacts), then
+* a **warm** rerun (every extraction served from disk — zero simulations,
+  asserted via the stderr cache counters), which must produce
+  byte-identical tables.
+
+``CACHE_BENCH_QUICK=1`` restricts the suite to two workloads for CI
+smoke runs.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import write_result
+
+QUICK = os.environ.get("CACHE_BENCH_QUICK") == "1"
+NAMES: tuple[str, ...] = ("adpcm", "gsm") if QUICK else ()
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _run_suite(cache_dir, *extra: str):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "suite", *NAMES,
+         "--cache-dir", str(cache_dir), *extra],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    elapsed = time.perf_counter() - start
+    assert proc.returncode == 0, proc.stderr
+    return proc, elapsed
+
+
+def _extraction_counters(stderr: str) -> tuple[int, int]:
+    match = re.search(r"cache\[extraction\]: (\d+) hits, (\d+) misses",
+                      stderr)
+    assert match, f"no extraction counters in: {stderr!r}"
+    return int(match.group(1)), int(match.group(2))
+
+
+def test_cold_vs_warm_suite(results_dir, tmp_path):
+    from repro.workloads.registry import workload_names
+
+    expected = len(NAMES) if NAMES else len(workload_names())
+    cache_dir = tmp_path / "cache"
+
+    cold, cold_time = _run_suite(cache_dir)
+    warm, warm_time = _run_suite(cache_dir)
+
+    # The amortization claim, checked exactly: the warm rerun simulates
+    # nothing (every extraction is a disk hit) and reports are
+    # byte-identical to the cold run.
+    assert cold.stdout == warm.stdout
+    hits, misses = _extraction_counters(warm.stderr)
+    assert (hits, misses) == (expected, 0)
+
+    ratio = cold_time / warm_time
+    write_result(
+        results_dir, "cache_warmup.txt",
+        f"suite cold: {cold_time:.2f}s, warm: {warm_time:.2f}s "
+        f"({ratio:.1f}x) over {expected} workload(s)"
+        + (" [quick]" if QUICK else ""),
+    )
+    assert warm_time < cold_time, (
+        f"warm suite ({warm_time:.2f}s) did not beat cold ({cold_time:.2f}s)"
+    )
+
+
+def test_warm_parallel_profiles_feed_serial_rerun(results_dir, tmp_path):
+    """Fan-out workers and later invocations share one store: a parallel
+    cold run populates it, and a serial warm rerun simulates nothing."""
+    from repro.workloads.registry import workload_names
+
+    expected = len(NAMES) if NAMES else len(workload_names())
+    cache_dir = tmp_path / "cache"
+
+    cold, cold_time = _run_suite(cache_dir, "--jobs", "2")
+    warm, warm_time = _run_suite(cache_dir)
+
+    assert cold.stdout == warm.stdout
+    hits, misses = _extraction_counters(warm.stderr)
+    assert (hits, misses) == (expected, 0)
+    write_result(
+        results_dir, "cache_warmup_parallel.txt",
+        f"suite cold (jobs=2): {cold_time:.2f}s, warm serial: "
+        f"{warm_time:.2f}s over {expected} workload(s)"
+        + (" [quick]" if QUICK else ""),
+    )

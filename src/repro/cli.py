@@ -35,6 +35,16 @@ Commands
     Append the cross-input stability table to the suite tables
     (``--scenarios N`` trims each workload's matrix to its first N
     scenarios; the same gate sets the exit code).
+
+``cache stats|clear|path``
+    Inspect or wipe the disk-backed artifact store. Pipeline commands
+    persist their artifacts there by default (``--cache-dir DIR``
+    overrides the location, ``$REPRO_CACHE_DIR`` sets the default,
+    ``--no-disk-cache`` keeps a run memory-only), so repeat invocations
+    and ``--jobs`` worker processes share compilation, simulation,
+    extraction, sweep and validation results. ``suite`` and ``validate``
+    print per-namespace hit/miss counters to stderr (stdout stays
+    byte-identical to a cache-less run).
 """
 
 from __future__ import annotations
@@ -62,12 +72,20 @@ from repro.pipeline import (
     extract_foray_model,
     full_flow,
     normalize_ladder,
+    persist_store_counters,
     run_suite,
+    store_for,
     validate_suite,
 )
 from repro.sim.machine import DEFAULT_ENGINE, ENGINES
 from repro.spm.allocator import ALLOCATOR_POLICIES, AllocatorPolicy
 from repro.spm.explore import DEFAULT_CAPACITIES
+from repro.store import (
+    NAMESPACES,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    default_cache_dir,
+)
 from repro.workloads.registry import FIGURE_WORKLOADS
 
 
@@ -83,6 +101,11 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         help="execution engine (default: %(default)s)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the compiled/extraction artifact cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk artifact store shared across processes "
+                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="keep the artifact cache in-process only")
 
 
 def _add_spm_args(parser: argparse.ArgumentParser) -> None:
@@ -142,11 +165,23 @@ def _validation_config_from(args, enabled: bool) -> ValidationConfig:
     )
 
 
+def _cache_dir_from(args) -> str | None:
+    """The disk-store root for a run: an explicit ``--cache-dir`` wins,
+    ``--no-disk-cache`` disables the tier, otherwise the environment
+    default applies (CLI invocations are cross-process by nature, so the
+    disk tier is on by default)."""
+    if getattr(args, "no_disk_cache", False):
+        return None
+    return getattr(args, "cache_dir", None) or default_cache_dir()
+
+
 def _config_from(args) -> PipelineConfig:
+    jobs = getattr(args, "jobs", None)
     return PipelineConfig(
         engine=getattr(args, "engine", DEFAULT_ENGINE),
-        jobs=getattr(args, "jobs", 1),
+        jobs=jobs if jobs is not None else 1,
         cache=not getattr(args, "no_cache", False),
+        cache_dir=_cache_dir_from(args),
         filter_config=_filter_from(args),
         spm=_spm_config_from(args),
         validation=_validation_config_from(
@@ -170,12 +205,42 @@ def cmd_extract(args) -> int:
         f"{result.model.loop_count} loops, "
         f"{stats.total_accesses} accesses profiled */"
     )
+    persist_store_counters(_config_from(args))
     return 0
+
+
+def _report_cache_counters(config: PipelineConfig, before) -> None:
+    """Flush and print this run's disk-cache hit/miss counters.
+
+    Counters go to *stderr* so stdout (the tables) stays byte-identical
+    whether the disk cache is on, off, cold or warm. ``before`` is the
+    aggregate snapshot taken ahead of the run; the printed numbers are
+    the delta, which includes any ``--jobs`` worker processes (each
+    worker persists its own tally before the pool joins).
+    """
+    store = store_for(config)
+    if store is None:
+        return
+    persist_store_counters(config)
+    after = store.aggregate_counters()
+    for namespace in NAMESPACES:
+        prev = (before or {}).get(namespace, {})
+        cur = after.get(namespace, {})
+        hits, misses, stored = (
+            max(0, cur.get(field, 0) - prev.get(field, 0))
+            for field in ("hits", "misses", "stores")
+        )
+        print(f"cache[{namespace}]: {hits} hits, {misses} misses, "
+              f"{stored} stored", file=sys.stderr)
+    print(f"cache dir: {store.path}", file=sys.stderr)
 
 
 def cmd_suite(args) -> int:
     names = tuple(args.names) or None
     config = _config_from(args)
+    store = store_for(config)
+    before = store.aggregate_counters() if store else None
+    exit_code = 0
     reports = run_suite(names, jobs=args.jobs, config=config)
     print(format_table1([r.census for r in reports]))
     print()
@@ -197,8 +262,9 @@ def cmd_suite(args) -> int:
         print()
         print(format_stability_table(results, threshold=args.threshold))
         if not all(r.passes(args.threshold) for r in results):
-            return 1
-    return 0
+            exit_code = 1
+    _report_cache_counters(config, before)
+    return exit_code
 
 
 def _validate_or_exit(names, args, config):
@@ -214,6 +280,8 @@ def _validate_or_exit(names, args, config):
 def cmd_validate(args) -> int:
     names = tuple(args.names) or None
     config = _config_from(args)
+    store = store_for(config)
+    before = store.aggregate_counters() if store else None
     results = _validate_or_exit(names, args, config)
     for result in results:
         print(f"=== {result.workload}: model from scenario "
@@ -224,6 +292,7 @@ def cmd_validate(args) -> int:
             print(f"  {cell.scenario}: {cell.report.summary()}")
     print()
     print(format_stability_table(results, threshold=args.threshold))
+    _report_cache_counters(config, before)
     return 0 if all(r.passes(args.threshold) for r in results) else 1
 
 
@@ -248,6 +317,32 @@ def cmd_spm(args) -> int:
                                     energy=flow.energy_model,
                                     graph=flow.graph)
     print(format_spm_frontier({args.file: points}))
+    persist_store_counters(config)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    store = ArtifactStore(args.cache_dir or default_cache_dir())
+    if args.action == "path":
+        print(store.path)
+    elif args.action == "clear":
+        print(f"cleared {store.clear()} entries from {store.path}")
+    else:  # stats
+        entries = store.entry_stats()
+        counters = store.aggregate_counters()
+        print(f"artifact store: {store.path} (schema v{SCHEMA_VERSION})")
+        print(f"{'namespace':<12} {'entries':>8} {'bytes':>12} "
+              f"{'hits':>8} {'misses':>8} {'stored':>8}")
+        total_entries = total_bytes = 0
+        for namespace in NAMESPACES:
+            count, size = entries.get(namespace, (0, 0))
+            tally = counters.get(namespace, {})
+            total_entries += count
+            total_bytes += size
+            print(f"{namespace:<12} {count:>8} {size:>12} "
+                  f"{tally.get('hits', 0):>8} {tally.get('misses', 0):>8} "
+                  f"{tally.get('stores', 0):>8}")
+        print(f"{'total':<12} {total_entries:>8} {total_bytes:>12}")
     return 0
 
 
@@ -271,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite = sub.add_parser("suite", help="Tables I-III on mini-MiBench")
     p_suite.add_argument("names", nargs="*",
                          help="benchmark subset (default: the full suite)")
-    p_suite.add_argument("--jobs", type=int, default=1,
+    p_suite.add_argument("--jobs", type=int, default=None,
                          help="worker processes for the suite "
                               "(0 = CPU count; default: serial)")
     p_suite.add_argument("--spm", action="store_true",
@@ -293,7 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="cross-input validation over the scenario matrix")
     p_validate.add_argument("names", nargs="*",
                             help="workload subset (default: the full suite)")
-    p_validate.add_argument("--jobs", type=int, default=1,
+    p_validate.add_argument("--jobs", type=int, default=None,
                             help="worker processes for the (workload x "
                                  "scenario) matrix (0 = CPU count; "
                                  "default: serial)")
@@ -313,6 +408,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p_spm)
     _add_spm_args(p_spm)
     p_spm.set_defaults(func=cmd_spm)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or wipe the disk artifact store")
+    p_cache.add_argument("action", choices=("stats", "clear", "path"),
+                         help="stats: entry counts and hit/miss tallies; "
+                              "clear: remove every entry; path: print the "
+                              "resolved store directory")
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="store location (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

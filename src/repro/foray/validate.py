@@ -33,6 +33,7 @@ or, streaming (what the pipeline's ``validate`` stage does)::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -128,6 +129,28 @@ class ValidationReport:
             f"{self.unexercised} unexercised "
             f"({self.unexercised_share:.0%} of references)"
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the scored outcome.
+
+        Validation reports are persisted in the disk artifact store and
+        replayed across processes; the fingerprint lets incremental runs
+        assert that a disk-served report is *identical* to a recomputed
+        one (per-reference identity, counts and exercised state), without
+        comparing whole object graphs.
+        """
+        digest = hashlib.sha256()
+        for validation in self.per_reference:
+            reference = validation.reference
+            path = ",".join(
+                str(loop.begin_id) for loop in reference.loop_path
+            )
+            digest.update(
+                f"{reference.pc}@{path}:{validation.checked}:"
+                f"{validation.predicted};".encode()
+            )
+        digest.update(str(self.unexercised).encode())
+        return digest.hexdigest()
 
 
 class _RefState:

@@ -33,7 +33,12 @@ compositions over the stages:
 
 Compiled programs and extraction results are memoized in an in-process
 content-hash cache (keyed by source text and the exact run configuration);
-pass ``cache=False`` / ``--no-cache`` to bypass it.
+pass ``cache=False`` / ``--no-cache`` to bypass it. When
+``PipelineConfig.cache_dir`` is set, the in-memory caches become the L1
+tier over a disk-backed, content-addressed :class:`~repro.store.ArtifactStore`
+(L2) shared across processes — ``_fan_out`` workers and repeat CLI
+invocations then serve compilation, simulation, extraction, sweep and
+validation artifacts from disk instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -80,6 +85,7 @@ from repro.spm.explore import (
 from repro.spm.graph import ReuseGraph
 from repro.spm.transform import transform_model
 from repro.staticfar.detector import StaticAnalysisResult, detect
+from repro.store import ArtifactStore
 
 DEFAULT_MAX_STEPS = 200_000_000
 
@@ -125,6 +131,10 @@ class PipelineConfig:
     engine: str = DEFAULT_ENGINE
     jobs: int = 1
     cache: bool = True
+    #: Root of the disk-backed artifact store (L2 under the in-memory
+    #: caches); ``None`` keeps the caches in-process only. The directory
+    #: is shared safely across concurrent processes.
+    cache_dir: str | None = None
     entry: str = "main"
     max_steps: int = DEFAULT_MAX_STEPS
     filter_config: FilterConfig | None = None
@@ -173,6 +183,13 @@ class ArtifactCache:
     """
 
     def __init__(self, name: str, max_entries: int = 64):
+        if max_entries <= 0:
+            # put() would otherwise loop forever evicting from an empty
+            # dict and die with StopIteration on next(iter({})).
+            raise ValueError(
+                f"cache {name!r}: max_entries must be positive, "
+                f"got {max_entries}"
+            )
         self.name = name
         self.max_entries = max_entries
         self._store: dict[str, object] = {}
@@ -215,12 +232,62 @@ validation_cache = ArtifactCache("validation", max_entries=256)
 
 
 def clear_caches() -> None:
-    """Drop all memoized pipeline artifacts (mainly for benchmarks)."""
+    """Drop all memoized in-process pipeline artifacts (mainly for
+    benchmarks). The disk store, when configured, is left intact — it is
+    cleared explicitly (``repro cache clear``)."""
     compile_cache.clear()
     extraction_cache.clear()
     exploration_cache.clear()
     validation_cache.clear()
     _profile_model_memo.clear()
+
+
+#: One ArtifactStore instance per cache directory, shared by every
+#: pipeline run in this process (fork-spawned workers inherit it; the
+#: store resets its counters in the child).
+_stores: dict[str, ArtifactStore] = {}
+
+
+def store_for(config: PipelineConfig) -> ArtifactStore | None:
+    """The disk store behind ``config``, or ``None`` when disabled
+    (``cache=False`` bypasses the disk tier along with the memory one)."""
+    if not config.cache or not config.cache_dir:
+        return None
+    store = _stores.get(config.cache_dir)
+    if store is None:
+        store = _stores[config.cache_dir] = ArtifactStore(config.cache_dir)
+    return store
+
+
+def persist_store_counters(config: PipelineConfig) -> None:
+    """Publish this process's disk-cache counters (no-op without a store)."""
+    store = store_for(config)
+    if store is not None:
+        store.persist_counters()
+
+
+def _tiered_get(cache: ArtifactCache, key: str, config: PipelineConfig):
+    """L1 (memory) lookup, falling back to L2 (disk); a disk hit is
+    promoted into the memory cache."""
+    artifact = cache.get(key)
+    if artifact is not None:
+        return artifact
+    store = store_for(config)
+    if store is None:
+        return None
+    artifact = store.get(cache.name, key)
+    if artifact is not None:
+        cache.put(key, artifact)
+    return artifact
+
+
+def _tiered_put(cache: ArtifactCache, key: str, artifact,
+                config: PipelineConfig) -> None:
+    """Memoize in memory and, when configured, persist to disk."""
+    cache.put(key, artifact)
+    store = store_for(config)
+    if store is not None:
+        store.put(cache.name, key, artifact)
 
 
 def _content_key(*parts) -> str:
@@ -253,6 +320,17 @@ def normalize_ladder(capacities: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(sorted(set(capacities)))
 
 
+def _resolve_energy(
+    energy: EnergyModel | None, config: PipelineConfig
+) -> EnergyModel:
+    """Canonical energy model for cache keying: ``None`` means the
+    config's model. Keys are built from the resolved *value*, so
+    ``energy=None`` and spelling the same model out explicitly (e.g. an
+    explicit default ``EnergyModel()`` under a default config) land on
+    one cache entry instead of duplicating identical sweeps."""
+    return config.spm.energy if energy is None else energy
+
+
 def exploration_key(
     source: str,
     config: PipelineConfig,
@@ -266,7 +344,7 @@ def exploration_key(
         _extraction_key(source, config),
         normalize_ladder(capacities),
         policy,
-        energy or config.spm.energy,
+        _resolve_energy(energy, config),
     )
 
 
@@ -290,14 +368,15 @@ def cached_exploration(
                                   else spm_config.capacities)
     policy = AllocatorPolicy(policy if policy is not None
                              else spm_config.allocator)
-    energy = energy or spm_config.energy
+    energy = _resolve_energy(energy, config)
     key = exploration_key(source, config, capacities, policy.value, energy)
-    points = exploration_cache.get(key) if config.cache else None
+    points = (_tiered_get(exploration_cache, key, config)
+              if config.cache else None)
     if points is None:
         points = tuple(explore(model, capacities, energy, policy,
                                graph=graph))
         if config.cache:
-            exploration_cache.put(key, points)
+            _tiered_put(exploration_cache, key, points, config)
     return points
 
 
@@ -370,7 +449,7 @@ def _stage_compile(ctx: PipelineContext) -> None:
         return
     key = _compile_key(ctx.source)
     if ctx.config.cache:
-        cached = compile_cache.get(key)
+        cached = _tiered_get(compile_cache, key, ctx.config)
         if cached is not None:
             ctx.compiled = cached  # already instrumented; skips both stages
             return
@@ -388,14 +467,16 @@ def _stage_instrument(ctx: PipelineContext) -> None:
 
     ctx.compiled.checkpoint_map = instrument(ctx.compiled.program)
     if ctx.config.cache:
-        compile_cache.put(_compile_key(ctx.source), ctx.compiled)
+        _tiered_put(compile_cache, _compile_key(ctx.source), ctx.compiled,
+                    ctx.config)
 
 
 @register_stage("simulate", "profile on the selected engine (online sink)")
 def _stage_simulate(ctx: PipelineContext) -> None:
     config = ctx.config
     if config.cache:
-        cached = extraction_cache.get(_extraction_key(ctx.source, config))
+        cached = _tiered_get(extraction_cache,
+                             _extraction_key(ctx.source, config), config)
         if cached is not None:
             ctx.extraction = cached
             ctx.extractor = cached.extractor
@@ -423,8 +504,9 @@ def _stage_extract(ctx: PipelineContext) -> None:
         ctx.extractor.finish(), ctx.compiled, ctx.run_result, ctx.extractor
     )
     if ctx.config.cache:
-        extraction_cache.put(_extraction_key(ctx.source, ctx.config),
-                             ctx.extraction)
+        _tiered_put(extraction_cache,
+                    _extraction_key(ctx.source, ctx.config),
+                    ctx.extraction, ctx.config)
 
 
 @register_stage("analyze", "static baseline + Tables I-III metrics")
@@ -560,7 +642,11 @@ def run_workload(
 
 def _suite_worker(args: tuple[str, str, PipelineConfig]) -> WorkloadReport:
     name, source, config = args
-    return run_workload(name, source, config=config)
+    report = run_workload(name, source, config=config)
+    # Worker processes exit via os._exit (no atexit), so each task flushes
+    # this process's cumulative disk-cache counters itself.
+    persist_store_counters(config)
+    return report
 
 
 def _fan_out(tasks: list, worker: Callable, jobs: int) -> list:
@@ -590,20 +676,22 @@ def _fan_out(tasks: list, worker: Callable, jobs: int) -> list:
 def run_suite(
     names: tuple[str, ...] | None = None,
     filter_config: FilterConfig | None = None,
-    jobs: int = 1,
+    jobs: int | None = None,
     config: PipelineConfig | None = None,
 ) -> list[WorkloadReport]:
     """Run the full mini-MiBench suite (the paper's six plus mpeg2).
 
     ``jobs > 1`` fans the workloads out over that many worker processes
     (``jobs=0`` uses the CPU count); results come back in suite order
-    either way.
+    either way. ``jobs=None`` (the default) defers to ``config.jobs``;
+    an explicit argument — including ``jobs=1`` to force a serial run —
+    always wins over the config.
     """
     from repro.workloads.registry import get_workload, workload_names
 
     merged = _merge_config(config, filter_config)
-    if config is not None and jobs == 1:
-        jobs = config.jobs
+    if jobs is None:
+        jobs = merged.jobs
     selected = [get_workload(name) for name in (names or workload_names())]
     tasks = [(w.name, w.source, merged) for w in selected]
     return _fan_out(tasks, _suite_worker, jobs)
@@ -695,7 +783,7 @@ def _replay_scenario(
     """
     key = validation_key(workload, profile, scenario, config)
     if config.cache:
-        cached = validation_cache.get(key)
+        cached = _tiered_get(validation_cache, key, config)
         if cached is not None:
             return cached
     compiled = _cached_compiled(workload.source_for(scenario), config)
@@ -709,7 +797,7 @@ def _replay_scenario(
     )
     report = sink.finish()
     if config.cache:
-        validation_cache.put(key, report)
+        _tiered_put(validation_cache, key, report, config)
     return report
 
 
@@ -781,6 +869,7 @@ def _validation_cell_worker(
     scenario = workload.scenario(scenario_name)
     model = _profile_model(workload, profile, config)
     report = _replay_scenario(workload, profile, scenario, model, config)
+    persist_store_counters(config)  # see _suite_worker
     return ScenarioValidation(name, scenario.name, profile.name,
                               config.engine, report)
 
@@ -827,7 +916,7 @@ def validate_workload(
 
 def validate_suite(
     names: tuple[str, ...] | None = None,
-    jobs: int = 1,
+    jobs: int | None = None,
     config: PipelineConfig | None = None,
 ) -> list[WorkloadValidation]:
     """The full scenario matrix: every (workload x scenario) cell.
@@ -835,12 +924,13 @@ def validate_suite(
     Cells — not workloads — are the unit of fan-out, so ``jobs=N`` load-
     balances the ~3x-larger matrix over the same worker-process machinery
     ``run_suite`` uses; results come back grouped per workload, in suite
-    order.
+    order. Like ``run_suite``, ``jobs=None`` defers to ``config.jobs``
+    and an explicit argument (``jobs=1`` included) always wins.
     """
     from repro.workloads.registry import get_workload, workload_names
 
     config = config or PipelineConfig()
-    if jobs == 1:
+    if jobs is None:
         jobs = config.jobs
     selected = [get_workload(n) for n in (names or workload_names())]
     plans: list[tuple[str, str, int]] = []

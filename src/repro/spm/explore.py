@@ -99,15 +99,21 @@ def sweep_suite(
     capacities: tuple[int, ...] = DEFAULT_CAPACITIES,
     policy: AllocatorPolicy | str = AllocatorPolicy.DP,
     energy: EnergyModel | None = None,
-    jobs: int = 1,
+    jobs: int | None = None,
     config=None,
 ) -> dict[str, tuple[ExplorationPoint, ...]]:
     """Capacity sweep over a workload suite.
 
     Workload profiling (the expensive step) is fanned out over ``jobs``
-    worker processes through the pipeline's ``run_suite`` machinery;
-    per-workload sweeps are memoized in the pipeline's exploration
-    artifact cache (``energy=None`` uses ``config.spm.energy``).
+    worker processes through the pipeline's ``run_suite`` machinery
+    (``jobs=None`` defers to ``config.jobs``; an explicit ``jobs=1``
+    forces a serial run); per-workload sweeps are memoized in the
+    pipeline's exploration artifact cache (``energy=None`` uses
+    ``config.spm.energy``). With ``config.cache_dir`` set, both the
+    profiles and the sweeps persist in the disk artifact store, so
+    re-running a sweep — from this or any other process — only computes
+    the capacities/policies/workloads not already covered: sweeps are
+    incremental across invocations.
     """
     from repro import pipeline  # local import: pipeline imports this module
 

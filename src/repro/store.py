@@ -1,0 +1,428 @@
+"""Disk-backed, content-addressed artifact store (the cache's L2 tier).
+
+The pipeline's in-memory :class:`~repro.pipeline.ArtifactCache` LRUs make
+repeated work free *within* one process, but the paper's amortization
+claim — profile once, optimize many times — spans process boundaries:
+``_fan_out`` worker processes and every fresh CLI invocation used to
+recompute compilation, simulation and extraction from scratch. The
+:class:`ArtifactStore` persists those artifacts under the same content
+keys, so any process pointed at the same cache directory serves them
+from disk instead of re-simulating.
+
+Design constraints (concurrent workers share one directory):
+
+* **Atomic writes** — entries are written to a temp file in the target
+  directory and published with :func:`os.replace`, so a reader never
+  observes a torn entry.
+* **Integrity** — every entry embeds a magic tag, a schema-version word
+  and a SHA-256 of its payload. A corrupted, truncated or
+  version-mismatched entry reads as a miss (and is unlinked best-effort);
+  the caller silently recomputes.
+* **Code binding** — entries live under a directory named by the schema
+  version *and* a fingerprint of the ``repro`` package's own source
+  code, so artifacts never outlive a semantic change to the
+  compiler/extractor (no stale tables after an upgrade) and checkouts at
+  different versions sharing one cache directory occupy disjoint
+  subtrees instead of thrashing each other's entries.
+* **Race-free statistics** — each process tallies its own hit/miss/store
+  counters and persists them to a private ``stats/<pid>-<token>.json``
+  file (cumulative per process, atomically replaced), so concurrent
+  workers never contend on a shared counter file.
+  :meth:`ArtifactStore.aggregate_counters` sums the tallies; when the
+  tally files pile up they are compacted (under an exclusive lock) into
+  a single rolled-up file, so growth is bounded.
+
+Layout::
+
+    <root>/                          created mode 0700 when absent
+      v<schema>-<code fp>/
+        compile/<k[:2]>/<key>.art    entries, one file per content key
+        extraction/...  exploration/...  validation/...
+      stats/<pid>-<token>.json       per-process counter tallies
+
+Trust model: entries are pickles. The integrity hash detects torn or
+bit-rotted files, **not** hostile ones — anyone who can write to the
+cache directory can execute code in every process that reads from it.
+Keep the store on a private, same-trust-domain filesystem (the default
+``~/.cache/repro`` is created ``0700``); do not point ``--cache-dir``
+at world-writable locations or restore it from untrusted archives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import weakref
+from pathlib import Path
+
+#: Bump when any persisted artifact's shape changes incompatibly; every
+#: entry written under another version reads as a miss (recompute).
+SCHEMA_VERSION = 1
+
+#: The namespaces the pipeline persists (one per in-memory cache).
+NAMESPACES = ("compile", "extraction", "exploration", "validation")
+
+_MAGIC = b"RPROART\0"
+_ENTRY_SUFFIX = ".art"
+_STATS_DIR = "stats"
+_COUNTER_FIELDS = ("hits", "misses", "stores")
+#: Compact the per-process stats tallies once this many files pile up.
+_STATS_COMPACT_THRESHOLD = 256
+_STATS_LOCK_STALE_SECONDS = 300.0
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package's own source code (memoized).
+
+    Persisted artifacts are bound to it: any edit to the compiler,
+    engines, extractor or allocators lands entries in a fresh subtree,
+    so a warm run can never serve results computed by different code —
+    without anyone having to remember to bump :data:`SCHEMA_VERSION`
+    (which remains for *format* changes at a fixed code version).
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        digest = hashlib.sha256()
+        package_root = Path(__file__).resolve().parent
+        for path in sorted(package_root.rglob("*.py")):
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                continue
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(blob)
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def default_cache_dir() -> str:
+    """The cache directory used when none is given explicitly:
+    ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg or os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def _encode(artifact: object) -> bytes:
+    payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        _MAGIC
+        + SCHEMA_VERSION.to_bytes(4, "little")
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def _decode(blob: bytes) -> tuple[object] | None:
+    """``(artifact,)`` on success, ``None`` on any integrity failure."""
+    header_len = len(_MAGIC) + 4 + 32
+    if len(blob) < header_len or not blob.startswith(_MAGIC):
+        return None
+    version = int.from_bytes(blob[len(_MAGIC):len(_MAGIC) + 4], "little")
+    if version != SCHEMA_VERSION:
+        return None
+    digest = blob[len(_MAGIC) + 4:header_len]
+    payload = blob[header_len:]
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    try:
+        return (pickle.loads(payload),)
+    except Exception:
+        return None
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Publish ``blob`` at ``path`` via temp file + ``os.replace``, so a
+    concurrent reader sees the old content or the new — never a torn
+    file. The temp file is cleaned up on any failure."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False  # pid 0 marks compacted tallies, never a process
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM etc.: exists but not ours
+    return True
+
+
+#: Live stores, so forked children can drop counters inherited from the
+#: parent (they would otherwise be double-counted when both processes
+#: persist their tallies).
+_LIVE_STORES: list = []
+
+
+def _reset_counters_after_fork() -> None:
+    for ref in _LIVE_STORES:
+        store = ref()
+        if store is not None:
+            store._counters = {}
+            store._token = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch
+    os.register_at_fork(after_in_child=_reset_counters_after_fork)
+
+
+class ArtifactStore:
+    """A content-addressed artifact directory shared across processes.
+
+    Keys are the pipeline's content-hash cache keys; ``namespace`` is the
+    in-memory cache name the entry backs. All methods degrade gracefully:
+    I/O or integrity failures read as misses and failed writes are
+    dropped, so the store can never make a pipeline run fail — only make
+    it recompute.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self._counters: dict[str, list[int]] = {}
+        self._token: str | None = None
+        _LIVE_STORES.append(weakref.ref(self))
+
+    @property
+    def path(self) -> Path:
+        return self.root
+
+    def _tree(self) -> Path:
+        """The subtree owned by this schema version + code fingerprint;
+        other versions sharing the root occupy disjoint subtrees."""
+        return self.root / f"v{SCHEMA_VERSION}-{code_fingerprint()[:12]}"
+
+    def _entry_path(self, namespace: str, key: str) -> Path:
+        return self._tree() / namespace / key[:2] / (key + _ENTRY_SUFFIX)
+
+    def _ensure_root(self) -> None:
+        """Create the root when absent — private to the user (0700),
+        since entries are pickles and the directory is a trust boundary.
+        A pre-existing directory's permissions are left alone."""
+        if self.root.exists():
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            os.chmod(self.root, 0o700)
+        except OSError:
+            pass
+
+    def _bump(self, namespace: str, slot: int) -> None:
+        counters = self._counters.setdefault(namespace, [0, 0, 0])
+        counters[slot] += 1
+
+    def get(self, namespace: str, key: str) -> object | None:
+        """The stored artifact, or ``None`` (miss) when absent/corrupt."""
+        path = self._entry_path(namespace, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._bump(namespace, 1)
+            return None
+        decoded = _decode(blob)
+        if decoded is None:
+            # Corrupted / truncated / schema-mismatched: silently fall
+            # back to recompute (the next put republishes the entry).
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._bump(namespace, 1)
+            return None
+        self._bump(namespace, 0)
+        return decoded[0]
+
+    def put(self, namespace: str, key: str, artifact: object) -> bool:
+        """Persist ``artifact`` atomically; ``False`` when it could not
+        be (unpicklable artifact or I/O failure) — the entry simply stays
+        memory-only."""
+        try:
+            blob = _encode(artifact)
+        except Exception:
+            return False
+        path = self._entry_path(namespace, key)
+        try:
+            self._ensure_root()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write(path, blob)
+        except OSError:
+            return False
+        self._bump(namespace, 2)
+        return True
+
+    # -- statistics ---------------------------------------------------
+
+    def session_counters(self) -> dict[str, dict[str, int]]:
+        """This process's (unpersisted) counters by namespace."""
+        return {
+            namespace: dict(zip(_COUNTER_FIELDS, counts))
+            for namespace, counts in self._counters.items()
+        }
+
+    def persist_counters(self) -> None:
+        """Publish this process's cumulative counters to its private
+        stats file (atomic replace; no cross-process contention)."""
+        if not self._counters:
+            return
+        if self._token is None:
+            self._token = os.urandom(4).hex()
+        stats_dir = self.root / _STATS_DIR
+        try:
+            self._ensure_root()
+            stats_dir.mkdir(parents=True, exist_ok=True)
+            blob = json.dumps(self.session_counters()).encode()
+            _atomic_write(stats_dir / f"{os.getpid()}-{self._token}.json",
+                          blob)
+        except OSError:
+            return
+        self._maybe_compact_stats(stats_dir)
+
+    def _maybe_compact_stats(self, stats_dir: Path) -> None:
+        """Roll dead processes' tally files into one, so the stats
+        directory stays bounded however many invocations the store has
+        served. Guarded by an exclusive lock file (stale locks expire)
+        and restricted to dead-pid files: a live process would rewrite
+        its cumulative tally after the merge and be double-counted.
+        """
+        try:
+            if (len(list(stats_dir.glob("*.json")))
+                    <= _STATS_COMPACT_THRESHOLD):
+                return
+        except OSError:
+            return
+        lock = stats_dir / ".compact.lock"
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                if (time.time() - lock.stat().st_mtime
+                        < _STATS_LOCK_STALE_SECONDS):
+                    return  # someone else is compacting
+                lock.unlink()
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except OSError:
+                return
+        except OSError:
+            return
+        os.close(fd)
+        try:
+            merged: dict[str, dict[str, int]] = {}
+            victims: list[Path] = []
+            for path in stats_dir.glob("*.json"):
+                try:
+                    pid = int(path.name.split("-", 1)[0])
+                except ValueError:
+                    continue
+                if _pid_alive(pid):
+                    continue
+                try:
+                    data = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    victims.append(path)  # unreadable: just drop it
+                    continue
+                for namespace, fields in data.items():
+                    bucket = merged.setdefault(
+                        namespace, {name: 0 for name in _COUNTER_FIELDS}
+                    )
+                    for name in _COUNTER_FIELDS:
+                        bucket[name] += int(fields.get(name, 0))
+                victims.append(path)
+            if merged:
+                _atomic_write(stats_dir / f"0-{os.urandom(4).hex()}.json",
+                              json.dumps(merged).encode())
+            for path in victims:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        finally:
+            try:
+                lock.unlink()
+            except OSError:
+                pass
+
+    def aggregate_counters(self) -> dict[str, dict[str, int]]:
+        """Summed hit/miss/store counters across every process that has
+        persisted a tally since the store was last cleared."""
+        totals: dict[str, dict[str, int]] = {}
+        for path in sorted((self.root / _STATS_DIR).glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            for namespace, fields in data.items():
+                bucket = totals.setdefault(
+                    namespace, {name: 0 for name in _COUNTER_FIELDS}
+                )
+                for name in _COUNTER_FIELDS:
+                    bucket[name] += int(fields.get(name, 0))
+        return totals
+
+    def entry_stats(self) -> dict[str, tuple[int, int]]:
+        """``{namespace: (entry_count, total_bytes)}`` for this code
+        version's entries on disk."""
+        stats: dict[str, tuple[int, int]] = {}
+        tree = self._tree()
+        for namespace in NAMESPACES:
+            count = size = 0
+            for path in (tree / namespace).glob(f"*/*{_ENTRY_SUFFIX}"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                count += 1
+            stats[namespace] = (count, size)
+        return stats
+
+    def clear(self) -> int:
+        """Remove every entry — all code versions' subtrees — and the
+        stats tallies; returns how many entries were removed.
+
+        Only store-owned content (``v*-*`` version trees and the stats
+        directory) is touched: pointing ``--cache-dir`` at a directory
+        that also holds other files must never delete them.
+        """
+        removed = 0
+        for tree in self.root.glob("v*-*"):
+            if not tree.is_dir():
+                continue
+            removed += sum(
+                1 for _ in tree.glob(f"*/*/*{_ENTRY_SUFFIX}")
+            )
+            shutil.rmtree(tree, ignore_errors=True)
+        shutil.rmtree(self.root / _STATS_DIR, ignore_errors=True)
+        try:
+            self.root.rmdir()  # only when nothing else lives there
+        except OSError:
+            pass
+        self._counters = {}
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"

@@ -18,6 +18,15 @@ from repro.workloads.registry import MIBENCH_WORKLOADS
 RELAXED = FilterConfig(nexec=1, nloc=1)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point every CLI invocation's default disk artifact store at a
+    per-test directory, so tests never touch (or depend on) the user's
+    ``~/.cache/repro``. Library calls are unaffected: ``PipelineConfig``
+    only uses a disk store when ``cache_dir`` is set explicitly."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+
+
 @pytest.fixture(scope="session")
 def suite_reports() -> dict[str, WorkloadReport]:
     """Phase I + baseline + metrics for every registered suite workload."""

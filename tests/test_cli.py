@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import main
@@ -118,6 +120,59 @@ class TestSpm:
     def test_unknown_allocator_rejected(self, reuse_file):
         with pytest.raises(SystemExit):
             main(["spm", reuse_file, "--allocator", "magic"])
+
+
+class TestCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_memory_caches(self):
+        # The disk tier only sees L1 *misses*: drop artifacts memoized by
+        # earlier in-process tests so these CLI runs exercise the store.
+        from repro.pipeline import clear_caches
+
+        clear_caches()
+        yield
+        clear_caches()
+
+    def test_path_resolves_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/env-cache-dir")
+        assert main(["cache", "path"]) == 0
+        assert capsys.readouterr().out.strip() == "/tmp/env-cache-dir"
+
+    def test_stats_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["suite", "adpcm", "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "cache[extraction]: 0 hits, 1 misses, 1 stored" in captured.err
+        assert "cache[" not in captured.out  # counters stay off stdout
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "artifact store:" in out and "schema v" in out
+        assert re.search(r"extraction\s+1\s+\d+\s+0\s+1\s+1", out)
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
+        main(["cache", "stats", "--cache-dir", cache_dir])
+        assert re.search(r"total\s+0\s+0", capsys.readouterr().out)
+
+    def test_suite_counters_report_warm_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["suite", "adpcm", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        from repro.pipeline import clear_caches
+
+        clear_caches()  # drop L1 so the rerun exercises the disk tier
+        assert main(["suite", "adpcm", "--cache-dir", cache_dir]) == 0
+        assert ("cache[extraction]: 1 hits, 0 misses, 0 stored"
+                in capsys.readouterr().err)
+
+    def test_no_disk_cache_prints_no_counters(self, capsys):
+        assert main(["suite", "adpcm", "--no-disk-cache"]) == 0
+        assert "cache[" not in capsys.readouterr().err
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "frobnicate"])
 
 
 class TestParser:

@@ -1,0 +1,399 @@
+"""Tests for the disk-backed artifact store and its pipeline tiering.
+
+Covers the store's integrity guarantees (atomic entries, corruption and
+schema-version fallback), the L1-memory/L2-disk tiering of all four
+pipeline caches (warm runs must not simulate), cross-process sharing
+through real subprocesses, and the satellite regressions (explicit
+``jobs=1``, ``max_entries`` validation, energy-model key normalization).
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import store as store_mod
+from repro.pipeline import (
+    ArtifactCache,
+    PipelineConfig,
+    SpmConfig,
+    cached_exploration,
+    clear_caches,
+    exploration_cache,
+    exploration_key,
+    extract_foray_model,
+    full_flow,
+    run_suite,
+    store_for,
+    validate_suite,
+    validate_workload,
+)
+from repro.spm.energy import EnergyModel
+from repro.store import ArtifactStore, default_cache_dir
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SOURCE = """
+int table[64];
+int out[256];
+int main() {
+    int rep, i;
+    for (i = 0; i < 64; i++) { table[i] = i; }
+    for (rep = 0; rep < 4; rep++) {
+        for (i = 0; i < 64; i++) { out[64 * rep + i] = table[i] + rep; }
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _disk_config(tmp_path, **overrides) -> PipelineConfig:
+    return PipelineConfig(cache_dir=str(tmp_path / "store"), **overrides)
+
+
+def _boom(*_args, **_kwargs):
+    raise AssertionError("simulated on a warm run: disk tier not consulted")
+
+
+# ---------------------------------------------------------------------------
+# Store unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestArtifactStore:
+    def test_roundtrip_and_counters(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        assert store.get("extraction", "ab" * 32) is None  # miss
+        assert store.put("extraction", "ab" * 32, {"x": (1, 2)}) is True
+        assert store.get("extraction", "ab" * 32) == {"x": (1, 2)}
+        assert store.session_counters()["extraction"] == {
+            "hits": 1, "misses": 1, "stores": 1,
+        }
+
+    def test_unpicklable_artifact_is_skipped(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        assert store.put("compile", "ff" * 32, lambda: None) is False
+        assert store.get("compile", "ff" * 32) is None
+
+    def _entry_file(self, store: ArtifactStore) -> Path:
+        files = list(store.path.glob("v*/*/*/*.art"))
+        assert len(files) == 1
+        return files[0]
+
+    def test_corrupted_entry_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.put("extraction", "cd" * 32, [1, 2, 3])
+        entry = self._entry_file(store)
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[:-4] + b"\xde\xad\xbe\xef")
+        assert store.get("extraction", "cd" * 32) is None
+        assert not entry.exists()  # bad entry unlinked for the re-put
+
+    def test_truncated_entry_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.put("extraction", "cd" * 32, [1, 2, 3])
+        entry = self._entry_file(store)
+        entry.write_bytes(entry.read_bytes()[:10])
+        assert store.get("extraction", "cd" * 32) is None
+
+    def test_schema_version_bump_reads_as_miss(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "s")
+        store.put("extraction", "ee" * 32, "artifact")
+        monkeypatch.setattr(store_mod, "SCHEMA_VERSION",
+                            store_mod.SCHEMA_VERSION + 1)
+        assert store.get("extraction", "ee" * 32) is None
+        # ...and the recompute republishes under the new schema.
+        store.put("extraction", "ee" * 32, "artifact-v2")
+        assert store.get("extraction", "ee" * 32) == "artifact-v2"
+
+    def test_clear_and_entry_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.put("compile", "aa" * 32, "a")
+        store.put("extraction", "bb" * 32, "b")
+        stats = store.entry_stats()
+        assert stats["compile"][0] == 1 and stats["extraction"][0] == 1
+        assert stats["compile"][1] > 0
+        assert store.clear() == 2
+        assert store.entry_stats()["compile"] == (0, 0)
+
+    def test_clear_leaves_foreign_files_alone(self, tmp_path):
+        # --cache-dir may point at a directory that holds other content;
+        # clear() must only remove store-owned subtrees.
+        root = tmp_path / "s"
+        store = ArtifactStore(root)
+        store.put("compile", "aa" * 32, "a")
+        store.persist_counters()
+        precious = root / "notes.txt"
+        precious.write_text("keep me")
+        assert store.clear() == 1
+        assert precious.read_text() == "keep me"
+        assert not list(root.glob("v*-*"))
+        assert not (root / "stats").exists()
+
+    def test_code_fingerprint_change_reads_as_miss(self, tmp_path,
+                                                   monkeypatch):
+        store = ArtifactStore(tmp_path / "s")
+        store.put("extraction", "ab" * 32, "artifact")
+        assert store.get("extraction", "ab" * 32) == "artifact"
+        # A different package-source fingerprint (i.e. edited code) must
+        # land in a disjoint subtree: no stale artifacts, no thrash.
+        monkeypatch.setattr(store_mod, "_CODE_FINGERPRINT", "f" * 64)
+        assert store.get("extraction", "ab" * 32) is None
+        store.put("extraction", "ab" * 32, "recomputed")
+        assert store.get("extraction", "ab" * 32) == "recomputed"
+        monkeypatch.setattr(store_mod, "_CODE_FINGERPRINT", None)
+        assert store.get("extraction", "ab" * 32) == "artifact"
+
+    def test_root_created_private(self, tmp_path):
+        store = ArtifactStore(tmp_path / "fresh")
+        store.put("compile", "aa" * 32, "a")
+        assert (store.path.stat().st_mode & 0o777) == 0o700
+
+    def test_stats_compaction_preserves_totals(self, tmp_path,
+                                               monkeypatch):
+        import json
+
+        store = ArtifactStore(tmp_path / "s")
+        stats_dir = store.path / "stats"
+        stats_dir.mkdir(parents=True)
+        for index in range(5):  # dead-pid tallies from past invocations
+            (stats_dir / f"999{900 + index}-abcd.json").write_text(
+                json.dumps({"extraction": {"hits": 2, "misses": 1,
+                                           "stores": 1}})
+            )
+        monkeypatch.setattr(store_mod, "_STATS_COMPACT_THRESHOLD", 0)
+        store.get("extraction", "ab" * 32)  # one live miss
+        store.persist_counters()
+        totals = store.aggregate_counters()["extraction"]
+        assert totals == {"hits": 10, "misses": 6, "stores": 5}
+        files = sorted(p.name for p in stats_dir.glob("*.json"))
+        assert len(files) == 2  # one compacted roll-up + our live tally
+        assert files[0].startswith("0-")
+
+    def test_persisted_counters_aggregate(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        store.put("compile", "aa" * 32, "a")
+        store.get("compile", "aa" * 32)
+        store.persist_counters()
+        other = ArtifactStore(tmp_path / "s")  # same dir, "other process"
+        other.get("compile", "aa" * 32)
+        other.persist_counters()
+        totals = store.aggregate_counters()["compile"]
+        assert totals["hits"] == 2 and totals["stores"] == 1
+
+    def test_default_cache_dir_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere-else")
+        assert default_cache_dir() == "/tmp/somewhere-else"
+
+
+# ---------------------------------------------------------------------------
+# Pipeline tiering: warm runs must not recompute
+# ---------------------------------------------------------------------------
+
+
+class TestTieredPipeline:
+    def test_warm_extraction_performs_no_simulation(self, tmp_path,
+                                                    monkeypatch):
+        config = _disk_config(tmp_path)
+        first = extract_foray_model(SOURCE, config=config)
+        clear_caches()  # a "fresh process": only the disk tier remains
+        monkeypatch.setattr("repro.pipeline.run_compiled", _boom)
+        second = extract_foray_model(SOURCE, config=config)
+        assert second.model == first.model
+        counters = store_for(config).session_counters()
+        assert counters["extraction"]["hits"] >= 1
+
+    def test_warm_sweep_skips_exploration(self, tmp_path, monkeypatch):
+        ladder = (256, 1024, 4096)
+        config = _disk_config(
+            tmp_path, spm=SpmConfig(sweep=True, capacities=ladder))
+        flow = full_flow("demo", SOURCE, config=config)
+        clear_caches()
+        monkeypatch.setattr("repro.pipeline.run_compiled", _boom)
+        monkeypatch.setattr("repro.pipeline.explore", _boom)
+        warm = full_flow("demo", SOURCE, config=config)
+        assert warm.exploration == flow.exploration
+        assert [p.capacity_bytes for p in warm.exploration] == list(ladder)
+
+    def test_warm_validation_matrix_is_incremental(self, tmp_path,
+                                                   monkeypatch):
+        config = _disk_config(tmp_path)
+        cold = validate_workload("adpcm", config=config)
+        clear_caches()
+        monkeypatch.setattr("repro.pipeline.run_compiled", _boom)
+        warm = validate_workload("adpcm", config=config)
+        assert warm.self_validation.fingerprint() == \
+            cold.self_validation.fingerprint()
+        assert [c.report.fingerprint() for c in warm.cross] == \
+            [c.report.fingerprint() for c in cold.cross]
+
+    def test_corrupted_entries_fall_back_to_recompute(self, tmp_path):
+        config = _disk_config(tmp_path)
+        first = extract_foray_model(SOURCE, config=config)
+        store = store_for(config)
+        for entry in store.path.glob("v*/extraction/*/*.art"):
+            entry.write_bytes(b"not an artifact")
+        clear_caches()
+        second = extract_foray_model(SOURCE, config=config)  # recomputed
+        assert second.model == first.model
+        assert store.session_counters()["extraction"]["misses"] >= 1
+
+    def test_cache_false_disables_disk_tier(self, tmp_path):
+        config = _disk_config(tmp_path, cache=False)
+        assert store_for(config) is None
+        extract_foray_model(SOURCE, config=config)
+        assert not (tmp_path / "store").exists()
+
+
+# ---------------------------------------------------------------------------
+# Satellite regressions
+# ---------------------------------------------------------------------------
+
+
+class _CapturedJobs(Exception):
+    pass
+
+
+def _capture_fan_out(_tasks, _worker, jobs):
+    raise _CapturedJobs(jobs)
+
+
+class TestExplicitJobsWins:
+    @pytest.fixture(autouse=True)
+    def _patched(self, monkeypatch):
+        monkeypatch.setattr("repro.pipeline._fan_out", _capture_fan_out)
+
+    def _jobs_used(self, call):
+        with pytest.raises(_CapturedJobs) as excinfo:
+            call()
+        return excinfo.value.args[0]
+
+    def test_run_suite_explicit_serial_beats_config(self):
+        # Regression: an explicit jobs=1 used to be silently overridden
+        # by config.jobs, so a caller could not force a serial run.
+        config = PipelineConfig(jobs=4)
+        assert self._jobs_used(
+            lambda: run_suite(("adpcm",), jobs=1, config=config)) == 1
+        assert self._jobs_used(
+            lambda: run_suite(("adpcm",), config=config)) == 4
+        assert self._jobs_used(
+            lambda: run_suite(("adpcm",), jobs=2, config=config)) == 2
+
+    def test_validate_suite_explicit_serial_beats_config(self):
+        config = PipelineConfig(jobs=4)
+        assert self._jobs_used(
+            lambda: validate_suite(("adpcm",), jobs=1, config=config)) == 1
+        assert self._jobs_used(
+            lambda: validate_suite(("adpcm",), config=config)) == 4
+
+
+class TestArtifactCacheBounds:
+    @pytest.mark.parametrize("bad", [0, -1, -64])
+    def test_nonpositive_max_entries_rejected(self, bad):
+        # Regression: put() on a max_entries<=0 cache died with
+        # StopIteration while evicting from an empty dict.
+        with pytest.raises(ValueError, match="max_entries must be positive"):
+            ArtifactCache("t", max_entries=bad)
+
+    def test_single_entry_cache_works(self):
+        cache = ArtifactCache("t", max_entries=1)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        assert len(cache) == 1
+        assert cache.get("b") == "B"
+        assert cache.get("a") is None
+
+
+class TestEnergyKeyNormalization:
+    def test_none_and_explicit_default_share_one_entry(self):
+        config = PipelineConfig()
+        model = extract_foray_model(SOURCE, config=config).model
+        cached_exploration(SOURCE, config, model, energy=None)
+        assert len(exploration_cache) == 1
+        hits = exploration_cache.hits
+        cached_exploration(SOURCE, config, model, energy=EnergyModel())
+        assert len(exploration_cache) == 1  # no duplicate entry
+        assert exploration_cache.hits == hits + 1
+
+    def test_keys_resolve_through_the_config(self):
+        config = PipelineConfig()
+        assert exploration_key(SOURCE, config, (256,), "dp", None) == \
+            exploration_key(SOURCE, config, (256,), "dp", EnergyModel())
+        pricey = EnergyModel(main_read_nj=50.0)
+        custom = PipelineConfig(spm=SpmConfig(energy=pricey))
+        assert exploration_key(SOURCE, custom, (256,), "dp", None) == \
+            exploration_key(SOURCE, custom, (256,), "dp", pricey)
+        # Distinct energies must still key distinct sweeps.
+        assert exploration_key(SOURCE, custom, (256,), "dp", None) != \
+            exploration_key(SOURCE, config, (256,), "dp", None)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process sharing (real subprocesses)
+# ---------------------------------------------------------------------------
+
+
+def _repro(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def _counters(stderr: str, namespace: str) -> tuple[int, int, int]:
+    match = re.search(
+        rf"cache\[{namespace}\]: (\d+) hits, (\d+) misses, (\d+) stored",
+        stderr,
+    )
+    assert match, f"no {namespace} counters in: {stderr!r}"
+    hits, misses, stored = map(int, match.groups())
+    return hits, misses, stored
+
+
+class TestCrossProcess:
+    def test_two_processes_share_one_cache_dir(self, tmp_path):
+        cache_dir = str(tmp_path / "shared")
+        cold = _repro("suite", "adpcm", "--cache-dir", cache_dir)
+        warm = _repro("suite", "adpcm", "--cache-dir", cache_dir)
+        assert cold.stdout == warm.stdout
+        assert _counters(cold.stderr, "extraction") == (0, 1, 1)
+        assert _counters(warm.stderr, "extraction") == (1, 0, 0)
+
+    def test_fan_out_workers_populate_the_store(self, tmp_path):
+        cache_dir = str(tmp_path / "shared")
+        cold = _repro("suite", "adpcm", "gsm", "--cache-dir", cache_dir,
+                      "--jobs", "2")
+        assert _counters(cold.stderr, "extraction") == (0, 2, 2)
+        warm = _repro("suite", "adpcm", "gsm", "--cache-dir", cache_dir)
+        # Zero simulations on the warm run: every extraction is a hit.
+        assert _counters(warm.stderr, "extraction") == (2, 0, 0)
+        assert cold.stdout == warm.stdout
+
+    @pytest.mark.parametrize("engine", ["bytecode", "ast"])
+    def test_reports_identical_with_disk_cache_on_and_off(self, tmp_path,
+                                                          engine):
+        cache_dir = str(tmp_path / "shared")
+        on_cold = _repro("suite", "adpcm", "--engine", engine,
+                         "--cache-dir", cache_dir)
+        on_warm = _repro("suite", "adpcm", "--engine", engine,
+                         "--cache-dir", cache_dir)
+        off = _repro("suite", "adpcm", "--engine", engine, "--no-disk-cache")
+        assert on_cold.stdout == off.stdout
+        assert on_warm.stdout == off.stdout
+        assert "cache[" not in off.stderr  # no disk tier, no counters
