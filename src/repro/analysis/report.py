@@ -1,5 +1,6 @@
 """Paper-style text rendering of Tables I–III, the SPM capacity/energy
-frontier, the cross-input stability table, and paper comparisons."""
+frontier, the cross-input stability table, the memory-hierarchy
+comparison, and paper comparisons."""
 
 from __future__ import annotations
 
@@ -10,6 +11,7 @@ from repro.analysis.paper_data import (
     PAPER_TABLE2,
     PAPER_TABLE3,
 )
+from repro.cachesim.report import HierarchyReport
 from repro.foray.validate import WorkloadValidation
 from repro.spm.explore import ExplorationPoint, pareto_frontier
 
@@ -201,6 +203,45 @@ def format_stability_table(
     return (
         "Cross-input stability (model from the profile scenario, replayed "
         "on every other scenario)\n" + table
+    )
+
+
+def format_hier_table(reports: list[HierarchyReport]) -> str:
+    """Memory-hierarchy comparison: pure cache vs SPM + cache.
+
+    One row per (workload, scenario, cache-config) matrix cell. ``main``
+    is the all-main-memory baseline; ``cache nJ`` the pure-cache run;
+    ``spm+cache nJ`` the hybrid with the SPM allocation's intervals
+    bypassing the cache; ``saving`` the hybrid's energy saving over the
+    pure cache, and ``spm`` marks cells where SPM+cache wins outright.
+    """
+    headers = [
+        "benchmark", "scenario", "cache", "accesses", "L1miss%",
+        "main words", "main nJ", "cache nJ", "spm+cache nJ", "spm B",
+        "saving", "spm",
+    ]
+    body: list[list[str]] = []
+    for report in reports:
+        body.append([
+            report.workload,
+            report.scenario,
+            report.cache_config.spec(),
+            str(report.cache.accesses),
+            f"{report.cache.l1_miss_rate:.1%}",
+            str(report.cache.main_words),
+            f"{report.baseline_main_nj:.0f}",
+            f"{report.cache_nj:.0f}",
+            f"{report.hybrid_nj:.0f}",
+            str(report.spm_buffer_bytes),
+            f"{report.hybrid_saving_fraction:.1%}",
+            "*" if report.spm_win else "",
+        ])
+    spm_bytes = reports[0].spm_bytes if reports else 0
+    policy = reports[0].policy if reports else "dp"
+    table = _table(headers, body)
+    return (
+        "Memory-hierarchy comparison (pure cache vs SPM+cache, "
+        f"spm={spm_bytes}B, allocator: {policy})\n{table}"
     )
 
 

@@ -1,0 +1,44 @@
+"""Cache-hierarchy co-simulation: the hardware baseline the SPM displaces.
+
+Public surface:
+
+* :class:`~repro.cachesim.model.CacheConfig` / ``parse_cache_spec`` —
+  cache geometry and policy (plus optional L2);
+* :class:`~repro.cachesim.sink.CacheSink` — streaming set-associative
+  simulation over the batched trace-sink protocol;
+* :class:`~repro.cachesim.report.HierarchyReport` — pure-cache vs
+  SPM+cache comparison for one evaluation-matrix cell.
+"""
+
+from repro.cachesim.model import (
+    DEFAULT_CACHE_SWEEP,
+    WORD_BYTES,
+    CacheConfig,
+    CacheHierarchy,
+    CacheLevelStats,
+    CacheSimResult,
+    hierarchy_energy,
+    parse_cache_spec,
+)
+from repro.cachesim.report import HierarchyReport, build_hierarchy_report
+from repro.cachesim.sink import (
+    CacheSink,
+    allocation_intervals,
+    merge_intervals,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_SWEEP",
+    "WORD_BYTES",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevelStats",
+    "CacheSimResult",
+    "CacheSink",
+    "HierarchyReport",
+    "allocation_intervals",
+    "build_hierarchy_report",
+    "hierarchy_energy",
+    "merge_intervals",
+    "parse_cache_spec",
+]

@@ -1,0 +1,141 @@
+"""Streaming cache simulation as a trace sink (zero materialization).
+
+:class:`CacheSink` implements both entry points of the engines' sink
+protocol (:class:`repro.sim.trace.TraceSink`): the batched
+:meth:`emit_block` hot path — attach it to a live run via
+``run_compiled(compiled, sinks=(sink,))`` — and the per-record
+:meth:`emit` used to replay stored traces. Either way the trace is
+consumed access by access and only counters survive, exactly like the
+extractor and the validation sink.
+
+Hybrid (SPM + cache) mode replays an SPM allocation's address intervals:
+every access whose address falls inside a selected buffer's interval is
+served by the scratch pad (tallied as an SPM read/write) and never
+reaches the cache — the DMA-style fills and write-backs of the SPM
+buffers themselves go straight to main memory and are accounted from the
+allocation's transfer volumes by the report layer, not simulated here.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.cachesim.model import CacheHierarchy, CacheSimResult
+from repro.sim.trace import Access, TraceRecord
+from repro.spm.graph import reference_interval
+
+
+def merge_intervals(
+    intervals: "list[tuple[int, int]] | tuple[tuple[int, int], ...]",
+) -> tuple[tuple[int, int], ...]:
+    """Sort half-open ``[lo, hi)`` intervals and coalesce overlaps."""
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(interval for interval in intervals
+                         if interval[1] > interval[0]):
+        if merged and lo <= merged[-1][1]:
+            last_lo, last_hi = merged[-1]
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+def allocation_intervals(allocation) -> tuple[tuple[int, int], ...]:
+    """The merged address intervals an SPM allocation keeps resident.
+
+    Every reference served by a selected reuse-graph node contributes its
+    :func:`~repro.spm.graph.reference_interval`; allocations produced by
+    the legacy flat :func:`~repro.spm.allocator.allocate` (no graph
+    nodes) fall back to the selected candidates' references.
+    """
+    references = [
+        reference
+        for node in allocation.nodes
+        for reference in node.references
+    ] or [candidate.reference for candidate in allocation.selected]
+    return merge_intervals([reference_interval(ref) for ref in references])
+
+
+class CacheSink:
+    """A trace sink that drives a :class:`CacheHierarchy` online.
+
+    ``spm_intervals`` (merged, sorted, half-open) switches on hybrid
+    mode: addresses inside them bypass the cache. Checkpoint records are
+    ignored — cache behaviour depends only on the access stream.
+    """
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        spm_intervals: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        self.hierarchy = hierarchy
+        self._intervals = merge_intervals(spm_intervals)
+        self._starts = [lo for lo, _hi in self._intervals]
+        self._ends = [hi for _lo, hi in self._intervals]
+        self.reads = 0
+        self.writes = 0
+        self.spm_reads = 0
+        self.spm_writes = 0
+        self._finished: CacheSimResult | None = None
+
+    def emit(self, record: TraceRecord) -> None:
+        if isinstance(record, Access):
+            self._route(record.addr, record.size, record.is_write)
+
+    def emit_block(self, accesses, checkpoints) -> None:
+        # Checkpoints carry no addresses; only the access tuples matter.
+        access = self.hierarchy.access
+        if not self._starts:
+            reads = writes = 0
+            for _pc, addr, size, is_write in accesses:
+                if is_write:
+                    writes += 1
+                else:
+                    reads += 1
+                access(addr, size, is_write)
+            self.reads += reads
+            self.writes += writes
+            return
+        starts, ends = self._starts, self._ends
+        reads = writes = spm_reads = spm_writes = 0
+        for _pc, addr, size, is_write in accesses:
+            index = bisect_right(starts, addr) - 1
+            if index >= 0 and addr < ends[index]:
+                if is_write:
+                    spm_writes += 1
+                else:
+                    spm_reads += 1
+            elif is_write:
+                writes += 1
+                access(addr, size, True)
+            else:
+                reads += 1
+                access(addr, size, False)
+        self.reads += reads
+        self.writes += writes
+        self.spm_reads += spm_reads
+        self.spm_writes += spm_writes
+
+    def _route(self, addr: int, size: int, is_write: bool) -> None:
+        index = bisect_right(self._starts, addr) - 1
+        if index >= 0 and addr < self._ends[index]:
+            if is_write:
+                self.spm_writes += 1
+            else:
+                self.spm_reads += 1
+            return
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        self.hierarchy.access(addr, size, is_write)
+
+    def finish(self) -> CacheSimResult:
+        """Flush dirty lines and snapshot the counters (idempotent)."""
+        if self._finished is None:
+            self.hierarchy.flush()
+            self._finished = self.hierarchy.result(
+                self.reads, self.writes, self.spm_reads, self.spm_writes
+            )
+        return self._finished

@@ -36,6 +36,25 @@ Commands
     (``--scenarios N`` trims each workload's matrix to its first N
     scenarios; the same gate sets the exit code).
 
+``hier [NAMES...]``
+    Cache-hierarchy co-simulation: stream every workload's trace through
+    a configurable set-associative cache (``--line/--sets/--ways``, LRU,
+    write-back or ``--write-through``, optional ``--l2 SETSxWAYSxLINE``)
+    twice — once pure, once with the SPM allocation's address intervals
+    bypassing the cache — and print the energy/miss-rate comparison.
+    ``--sweep`` fans extra cache configs per cell and ``--scenarios N``
+    widens the matrix over each workload's input scenarios.
+
+``suite --hier``
+    Append the memory-hierarchy comparison to the suite tables
+    (``--hier-sweep`` sweeps cache configs, ``--scenarios N`` widens the
+    scenario axis; cells are persisted in the ``hierarchy`` store
+    namespace, so warm reruns simulate nothing).
+
+``suite/validate/hier --json``
+    Emit the run's report as machine-readable JSON on stdout instead of
+    the human tables (exit codes and stderr counters are unchanged).
+
 ``cache stats|clear|path``
     Inspect or wipe the disk-backed artifact store. Pipeline commands
     persist their artifacts there by default (``--cache-dir DIR``
@@ -50,9 +69,13 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
+from repro.analysis import jsonout
 from repro.analysis.report import (
+    format_hier_table,
     format_spm_frontier,
     format_stability_table,
     format_table1,
@@ -60,17 +83,24 @@ from repro.analysis.report import (
     format_table3,
     summarize_headline,
 )
+from repro.cachesim.model import (
+    DEFAULT_CACHE_SWEEP,
+    CacheConfig,
+    parse_cache_spec,
+)
 from repro.foray.emitter import emit_model
 from repro.foray.filters import FilterConfig
 from repro.foray.hints import inlining_hints
 from repro.lang.printer import to_source
 from repro.pipeline import (
+    HierarchyConfig,
     PipelineConfig,
     SpmConfig,
     ValidationConfig,
     cached_exploration,
     extract_foray_model,
     full_flow,
+    hier_suite,
     normalize_ladder,
     persist_store_counters,
     run_suite,
@@ -79,6 +109,7 @@ from repro.pipeline import (
 )
 from repro.sim.machine import DEFAULT_ENGINE, ENGINES
 from repro.spm.allocator import ALLOCATOR_POLICIES, AllocatorPolicy
+from repro.spm.energy import EnergyModel
 from repro.spm.explore import DEFAULT_CAPACITIES
 from repro.store import (
     NAMESPACES,
@@ -112,10 +143,78 @@ def _add_spm_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--allocator", choices=ALLOCATOR_POLICIES,
                         default=AllocatorPolicy.DP.value,
                         help="buffer-selection policy (default: %(default)s)")
+    parser.add_argument("--energy", default=None, metavar="KEY=NJ,...",
+                        help="override per-access energies, e.g. "
+                             "main_read_nj=5.2,spm_read_nj=0.1 "
+                             "(fields of EnergyModel; values in nJ)")
+
+
+def _add_hier_args(parser: argparse.ArgumentParser,
+                   sweep_flag: str = "--sweep") -> None:
+    """Cache-hierarchy flags (``sweep_flag`` avoids colliding with the
+    spm command's capacity-ladder ``--sweep``)."""
+    parser.add_argument("--line", type=int, default=32, metavar="BYTES",
+                        help="cache line size (default: %(default)s)")
+    parser.add_argument("--sets", type=int, default=64,
+                        help="number of cache sets (default: %(default)s)")
+    parser.add_argument("--ways", type=int, default=2,
+                        help="set associativity (default: %(default)s)")
+    parser.add_argument("--write-through", action="store_true",
+                        help="write-through/no-write-allocate instead of "
+                             "write-back/write-allocate")
+    parser.add_argument("--l2", default=None, metavar="SPEC",
+                        help="add a second level, e.g. 256x4x64 "
+                             "(SETSxWAYSxLINE[wt])")
+    parser.add_argument(sweep_flag, dest="cache_sweep", nargs="?",
+                        const="default", metavar="SPEC,SPEC,...",
+                        help="sweep extra cache configs per cell "
+                             "(default ladder when given without a value)")
+
+
+def _add_json_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report on "
+                             "stdout instead of the human tables")
 
 
 def _filter_from(args) -> FilterConfig:
     return FilterConfig(nexec=args.nexec, nloc=args.nloc)
+
+
+def _energy_from(args) -> EnergyModel:
+    """Build the energy model from ``--energy KEY=NJ,...`` overrides.
+
+    Unknown fields and non-numeric values exit cleanly, and the model's
+    own validation rejects negative or NaN energies — a malformed
+    override fails loudly instead of producing nonsense tables.
+    """
+    text = getattr(args, "energy", None)
+    if not text:
+        return EnergyModel()
+    known = {field.name for field in dataclasses.fields(EnergyModel)}
+    overrides: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in known:
+            raise SystemExit(
+                f"invalid energy override {part!r}; known fields: "
+                f"{', '.join(sorted(known))}"
+            )
+        try:
+            overrides[key] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"invalid energy override {part!r}: {value!r} is not a "
+                "number"
+            ) from None
+    try:
+        return EnergyModel(**overrides)
+    except ValueError as error:
+        raise SystemExit(f"invalid energy override: {error}") from None
 
 
 def _parse_ladder(text: str | None) -> tuple[int, ...]:
@@ -138,16 +237,61 @@ def _spm_config_from(args) -> SpmConfig:
         spm_bytes=getattr(args, "spm_bytes", 4096),
         capacities=_parse_ladder(getattr(args, "sweep", None)),
         allocator=getattr(args, "allocator", AllocatorPolicy.DP.value),
+        energy=_energy_from(args),
         sweep=getattr(args, "sweep", None) is not None
         or getattr(args, "spm", False),
     )
 
 
+def _hier_config_from(args, enabled: bool) -> HierarchyConfig:
+    # Specs are parsed (and rejected loudly) even when --hier is off:
+    # `suite --hier-sweep bogus` without --hier must fail like a bad
+    # --sweep ladder does, not silently drop the flag.
+    try:
+        l2_text = getattr(args, "l2", None)
+        base = CacheConfig(
+            line_bytes=getattr(args, "line", 32),
+            sets=getattr(args, "sets", 64),
+            ways=getattr(args, "ways", 2),
+            write_back=not getattr(args, "write_through", False),
+            l2=parse_cache_spec(l2_text) if l2_text else None,
+        )
+        sweep_text = getattr(args, "cache_sweep", None)
+        if sweep_text is None:
+            sweep: tuple[CacheConfig, ...] = ()
+        elif sweep_text == "default":
+            sweep = DEFAULT_CACHE_SWEEP
+        else:
+            sweep = tuple(
+                parse_cache_spec(part)
+                for part in sweep_text.split(",") if part.strip()
+            )
+            if not sweep:
+                raise ValueError(f"empty cache sweep {sweep_text!r}")
+    except ValueError as error:
+        raise SystemExit(f"hier: {error}") from None
+    # The hier command spells the scenario axis --scenarios (its own
+    # dest); on `suite --hier` the validation-style --scenarios widens
+    # the hierarchy matrix too, so the two appended matrices stay in
+    # step with one flag.
+    max_scenarios = getattr(args, "hier_scenarios", None)
+    if max_scenarios is None:
+        max_scenarios = getattr(args, "scenarios", None)
+    if enabled and max_scenarios is not None and max_scenarios < 1:
+        raise SystemExit(
+            f"hier: --scenarios must be >= 1, got {max_scenarios}"
+        )
+    return HierarchyConfig(enabled=enabled, cache=base, sweep=sweep,
+                           max_scenarios=max_scenarios if enabled else None)
+
+
 def _add_validation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scenarios", type=int, default=None, metavar="N",
-                        help="limit each workload's matrix to its first N "
-                             "scenarios (N >= 2: the profile plus at least "
-                             "one replay; default: all declared)")
+                        help="limit each workload's validation matrix to "
+                             "its first N scenarios (N >= 2: the profile "
+                             "plus at least one replay; default: all "
+                             "declared) — with --hier, also widens the "
+                             "hierarchy matrix to N scenarios")
     parser.add_argument("--profile", default=None, metavar="SCENARIO",
                         help="extract the model on this scenario "
                              "(default: each workload's nominal scenario)")
@@ -186,6 +330,7 @@ def _config_from(args) -> PipelineConfig:
         spm=_spm_config_from(args),
         validation=_validation_config_from(
             args, getattr(args, "validate", False)),
+        hierarchy=_hier_config_from(args, getattr(args, "hier", False)),
     )
 
 
@@ -242,27 +387,48 @@ def cmd_suite(args) -> int:
     before = store.aggregate_counters() if store else None
     exit_code = 0
     reports = run_suite(names, jobs=args.jobs, config=config)
-    print(format_table1([r.census for r in reports]))
-    print()
-    print(format_table2([r.table2 for r in reports]))
-    print()
-    print(format_table3([r.table3 for r in reports]))
-    print()
-    print(summarize_headline([r.table2 for r in reports]))
+    if not args.json:
+        # Human mode prints the finished tables before any optional
+        # extra (--spm sweep, --validate, --hier) runs: a failure in an
+        # appended matrix must not discard an already-computed suite
+        # run (--json needs the whole payload, so it stays
+        # all-or-nothing by construction).
+        print(format_table1([r.census for r in reports]))
+        print()
+        print(format_table2([r.table2 for r in reports]))
+        print()
+        print(format_table3([r.table3 for r in reports]))
+        print()
+        print(summarize_headline([r.table2 for r in reports]))
+    sweeps = None
     if args.spm:
         sweeps = {
             report.name: cached_exploration(
                 report.extraction.compiled.source, config, report.model)
             for report in reports
         }
-        print()
-        print(format_spm_frontier(sweeps))
+        if not args.json:
+            print()
+            print(format_spm_frontier(sweeps))
+    validations = hierarchy = None
     if args.validate:
-        results = _validate_or_exit(names, args, config)
-        print()
-        print(format_stability_table(results, threshold=args.threshold))
-        if not all(r.passes(args.threshold) for r in results):
+        validations = _validate_or_exit(names, args, config)
+        if not all(r.passes(args.threshold) for r in validations):
             exit_code = 1
+    if args.hier:
+        hierarchy = _hier_or_exit(names, args, config)
+    if args.json:
+        print(json.dumps(jsonout.suite_payload(
+            reports, sweeps=sweeps, validations=validations,
+            hierarchy=hierarchy, threshold=args.threshold), indent=2))
+    else:
+        if validations is not None:
+            print()
+            print(format_stability_table(validations,
+                                         threshold=args.threshold))
+        if hierarchy is not None:
+            print()
+            print(format_hier_table(hierarchy))
     _report_cache_counters(config, before)
     return exit_code
 
@@ -277,23 +443,51 @@ def _validate_or_exit(names, args, config):
         raise SystemExit(f"validate: {message}") from None
 
 
+def _hier_or_exit(names, args, config):
+    """Run the hierarchy matrix, turning declaration errors (unknown
+    workload names) into a clean CLI exit."""
+    try:
+        return hier_suite(names, jobs=args.jobs, config=config)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"hier: {message}") from None
+
+
 def cmd_validate(args) -> int:
     names = tuple(args.names) or None
     config = _config_from(args)
     store = store_for(config)
     before = store.aggregate_counters() if store else None
     results = _validate_or_exit(names, args, config)
-    for result in results:
-        print(f"=== {result.workload}: model from scenario "
-              f"{result.profile!r} ===")
-        print(f"  self ({result.profile}): "
-              f"{result.self_validation.summary()}")
-        for cell in result.cross:
-            print(f"  {cell.scenario}: {cell.report.summary()}")
-    print()
-    print(format_stability_table(results, threshold=args.threshold))
+    if args.json:
+        print(json.dumps(jsonout.validate_payload(results, args.threshold),
+                         indent=2))
+    else:
+        for result in results:
+            print(f"=== {result.workload}: model from scenario "
+                  f"{result.profile!r} ===")
+            print(f"  self ({result.profile}): "
+                  f"{result.self_validation.summary()}")
+            for cell in result.cross:
+                print(f"  {cell.scenario}: {cell.report.summary()}")
+        print()
+        print(format_stability_table(results, threshold=args.threshold))
     _report_cache_counters(config, before)
     return 0 if all(r.passes(args.threshold) for r in results) else 1
+
+
+def cmd_hier(args) -> int:
+    names = tuple(args.names) or None
+    config = _config_from(args)
+    store = store_for(config)
+    before = store.aggregate_counters() if store else None
+    results = _hier_or_exit(names, args, config)
+    if args.json:
+        print(json.dumps(jsonout.hier_payload(results), indent=2))
+    else:
+        print(format_hier_table(results))
+    _report_cache_counters(config, before)
+    return 0
 
 
 def cmd_figures(args) -> int:
@@ -375,10 +569,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--validate", action="store_true",
                          help="append the cross-input stability table "
                               "(scenario matrix)")
+    p_suite.add_argument("--hier", action="store_true",
+                         help="append the memory-hierarchy comparison "
+                              "(pure cache vs SPM+cache)")
     _add_filter_args(p_suite)
     _add_engine_args(p_suite)
     _add_spm_args(p_suite)
     _add_validation_args(p_suite)
+    _add_hier_args(p_suite, sweep_flag="--hier-sweep")
+    _add_json_arg(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
@@ -395,7 +594,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_filter_args(p_validate)
     _add_engine_args(p_validate)
     _add_validation_args(p_validate)
+    _add_json_arg(p_validate)
     p_validate.set_defaults(func=cmd_validate, validate=True)
+
+    p_hier = sub.add_parser(
+        "hier", help="cache co-simulation: pure cache vs SPM+cache")
+    p_hier.add_argument("names", nargs="*",
+                        help="workload subset (default: the full suite)")
+    p_hier.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the (workload x "
+                             "scenario x cache-config) matrix "
+                             "(0 = CPU count; default: serial)")
+    p_hier.add_argument("--spm-bytes", type=int, default=4096,
+                        help="SPM capacity of the hybrid configuration "
+                             "(default: %(default)s)")
+    p_hier.add_argument("--scenarios", dest="hier_scenarios", type=int,
+                        default=None, metavar="N",
+                        help="widen each workload's matrix to its first "
+                             "N input scenarios (default: the nominal "
+                             "profiling scenario only)")
+    _add_filter_args(p_hier)
+    _add_engine_args(p_hier)
+    _add_spm_args(p_hier)
+    _add_hier_args(p_hier)
+    _add_json_arg(p_hier)
+    p_hier.set_defaults(func=cmd_hier, hier=True)
 
     p_spm = sub.add_parser("spm", help="Phases I+II on a MiniC file")
     p_spm.add_argument("file")

@@ -2,7 +2,8 @@
 
 The flow is organised as a registry of named stages, executed in order::
 
-    compile → instrument → simulate → extract → analyze → validate → optimize
+    compile → instrument → simulate → extract → analyze → validate →
+    optimize → hierarchy
 
 * **compile** — parse + semantic analysis of the MiniC source;
 * **instrument** — checkpoint annotation (paper Algorithm 1, step 1);
@@ -13,7 +14,9 @@ The flow is organised as a registry of named stages, executed in order::
 * **analyze** — static baseline plus the Table I–III metrics;
 * **validate** — replay the workload's other input scenarios against the
   extracted model (cross-input stability; off by default);
-* **optimize** — Phase II SPM reuse analysis / buffer allocation.
+* **optimize** — Phase II SPM reuse analysis / buffer allocation;
+* **hierarchy** — cache co-simulation: pure cache vs SPM+cache over the
+  streaming :class:`~repro.cachesim.sink.CacheSink` (off by default).
 
 :class:`PipelineConfig` selects the execution engine (``bytecode`` or
 ``ast``), the suite parallelism (``jobs``) and whether the content-hash
@@ -30,6 +33,10 @@ compositions over the stages:
   scenario matrix: every ``(workload × scenario)`` cell replays one
   scenario's trace against the profile-scenario model, fanned out over
   the same worker-process machinery.
+* :func:`hier_suite` — the ``(workload × scenario × cache-config)``
+  hierarchy matrix: every cell co-simulates a pure cache against
+  SPM+cache through streaming sinks, fanned out and persisted the same
+  way.
 
 Compiled programs and extraction results are memoized in an in-process
 content-hash cache (keyed by source text and the exact run configuration);
@@ -50,6 +57,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.analysis.census import LoopCensus, loop_census
+from repro.cachesim.model import CacheConfig, CacheHierarchy
+from repro.cachesim.report import HierarchyReport, build_hierarchy_report
+from repro.cachesim.sink import CacheSink, allocation_intervals
 from repro.analysis.coverage import (
     ForayFormCoverage,
     MemoryBehavior,
@@ -125,6 +135,39 @@ class ValidationConfig:
 
 
 @dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache-hierarchy co-simulation knobs for the ``hierarchy`` stage.
+
+    ``sweep`` adds extra cache configurations to every matrix cell (the
+    cache-config axis of the (workload x scenario x cache-config)
+    evaluation matrix); ``max_scenarios`` widens the scenario axis to a
+    workload's first N declared input scenarios (default: the nominal
+    profiling scenario only).
+    """
+
+    enabled: bool = False
+    cache: CacheConfig = CacheConfig()
+    sweep: tuple[CacheConfig, ...] = ()
+    max_scenarios: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_scenarios is not None and self.max_scenarios < 1:
+            raise ValueError(
+                "hierarchy max_scenarios must be >= 1 (None = nominal "
+                f"scenario only), got {self.max_scenarios}"
+            )
+
+    def configs(self) -> tuple[CacheConfig, ...]:
+        """The cache configurations one cell sweeps, deduplicated in
+        declaration order (the base config first)."""
+        out: list[CacheConfig] = []
+        for config in (self.cache, *self.sweep):
+            if config not in out:
+                out.append(config)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Cross-cutting knobs for the staged pipeline."""
 
@@ -142,6 +185,7 @@ class PipelineConfig:
     #: Input ensemble for ``read_samples`` (None = the default spec).
     input: InputSpec | None = None
     validation: ValidationConfig = ValidationConfig()
+    hierarchy: HierarchyConfig = HierarchyConfig()
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(engine=self.engine, max_steps=self.max_steps,
@@ -229,6 +273,8 @@ extraction_cache = ArtifactCache("extraction")
 exploration_cache = ArtifactCache("exploration", max_entries=256)
 #: Cross-input validation reports by (profile extraction, replay scenario).
 validation_cache = ArtifactCache("validation", max_entries=256)
+#: Cache-hierarchy comparison cells by (extraction, cache config, SPM knobs).
+hierarchy_cache = ArtifactCache("hierarchy", max_entries=256)
 
 
 def clear_caches() -> None:
@@ -239,6 +285,7 @@ def clear_caches() -> None:
     extraction_cache.clear()
     exploration_cache.clear()
     validation_cache.clear()
+    hierarchy_cache.clear()
     _profile_model_memo.clear()
 
 
@@ -404,6 +451,7 @@ class PipelineContext:
     report: "WorkloadReport | None" = None
     validation: WorkloadValidation | None = None
     flow: "FullFlowResult | None" = None
+    hierarchy: tuple[HierarchyReport, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -571,6 +619,32 @@ def _stage_optimize(ctx: PipelineContext) -> None:
                               validation=ctx.validation)
 
 
+@register_stage("hierarchy", "cache co-simulation: pure cache vs SPM+cache")
+def _stage_hierarchy(ctx: PipelineContext) -> None:
+    """Simulate the cache hierarchy for this run's source (gated).
+
+    No-ops unless ``config.hierarchy.enabled``. Reuses the optimize
+    stage's model and allocation, so the only extra work is a single
+    engine run with two streaming cache sinks per swept configuration
+    attached — and none at all when every cell is already in the
+    hierarchy artifact cache.
+    """
+    config = ctx.config
+    if not config.hierarchy.enabled:
+        return
+    assert ctx.report is not None and ctx.flow is not None
+    reports = hierarchy_for_configs(
+        ctx.name, ctx.source, config, config.hierarchy.configs(),
+        scenario=_hier_scenario_label(ctx.name, ctx.source, config),
+        spm_bytes=ctx.spm_bytes,
+        energy=ctx.energy_model,
+        model=ctx.report.model,
+        allocation=ctx.flow.allocation,
+    )
+    ctx.hierarchy = reports
+    ctx.flow.hierarchy = reports
+
+
 # ---------------------------------------------------------------------------
 # Results and classic entry points
 # ---------------------------------------------------------------------------
@@ -711,6 +785,8 @@ class FullFlowResult:
     exploration: tuple[ExplorationPoint, ...] | None = None
     #: Cross-input stability (only when ``ValidationConfig.enabled``).
     validation: WorkloadValidation | None = None
+    #: Cache co-simulation cells (only when ``HierarchyConfig.enabled``).
+    hierarchy: tuple[HierarchyReport, ...] | None = None
 
     @property
     def energy_saving_nj(self) -> float:
@@ -736,7 +812,9 @@ def full_flow(
     merged = _merge_config(config, filter_config)
     ctx = PipelineContext(source, merged, name=name, spm_bytes=spm_bytes,
                           energy_model=energy_model)
-    run_stages(ctx, upto="optimize")
+    # The hierarchy stage no-ops unless config.hierarchy.enabled, so a
+    # default flow still ends at the optimize artifacts.
+    run_stages(ctx, upto="hierarchy")
     assert ctx.flow is not None
     return ctx.flow
 
@@ -954,3 +1032,228 @@ def validate_suite(
             _assemble_validation(name, profile_name, count, group)
         )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Cache-hierarchy co-simulation: the (workload x scenario x config) matrix
+# ---------------------------------------------------------------------------
+
+
+def hierarchy_key(
+    name: str,
+    scenario: str,
+    source: str,
+    config: PipelineConfig,
+    cache_config: CacheConfig,
+    spm_bytes: int,
+    policy: str,
+    energy: EnergyModel,
+) -> str:
+    """Cache key of one hierarchy matrix cell.
+
+    Built on the extraction key (source, engine, input ensemble, filter
+    budget), so a cell is recomputed exactly when its underlying profile
+    would be — plus every knob that shapes the comparison itself.
+    """
+    return _content_key(
+        "hier",
+        name,
+        scenario,
+        _extraction_key(source, config),
+        cache_config,
+        spm_bytes,
+        policy,
+        energy,
+    )
+
+
+def hierarchy_for_configs(
+    name: str,
+    source: str,
+    config: PipelineConfig,
+    cache_configs: tuple[CacheConfig, ...],
+    scenario: str = "-",
+    spm_bytes: int | None = None,
+    energy: EnergyModel | None = None,
+    model: ForayModel | None = None,
+    allocation: Allocation | None = None,
+) -> tuple[HierarchyReport, ...]:
+    """Hierarchy matrix cells for one (source, scenario): pure cache vs
+    SPM+cache under every configuration in ``cache_configs``.
+
+    Extracts (or reuses) the FORAY model, selects an SPM allocation at
+    ``spm_bytes`` under ``config.spm``'s policy, and runs the program
+    **once** with two streaming :class:`CacheSink`\\ s per *uncached*
+    configuration attached — the engine run (the expensive part) is
+    shared across the whole cache-config sweep. The trace is never
+    materialized; finished cells are memoized per configuration in
+    ``hierarchy_cache`` (and the disk store, when configured), so a
+    rerun only simulates when at least one configuration is cold.
+    """
+    energy = _resolve_energy(energy, config)
+    policy = AllocatorPolicy(config.spm.allocator)
+    capacity = (spm_bytes if spm_bytes is not None
+                else config.spm.spm_bytes)
+    reports: dict[CacheConfig, HierarchyReport] = {}
+    missing: list[tuple[CacheConfig, str]] = []
+    for cache_config in cache_configs:
+        if cache_config in reports or any(
+            cache_config == pending for pending, _key in missing
+        ):
+            continue  # duplicate spec: one cell serves all mentions
+        key = hierarchy_key(name, scenario, source, config, cache_config,
+                            capacity, policy.value, energy)
+        if config.cache:
+            cached = _tiered_get(hierarchy_cache, key, config)
+            if cached is not None:
+                reports[cache_config] = cached
+                continue
+        missing.append((cache_config, key))
+    if missing:
+        if allocation is None:
+            if model is None:
+                model = extract_foray_model(source, config=config).model
+            graph = ReuseGraph.from_model(model, energy)
+            allocation = allocate_graph(graph, capacity, policy)
+        intervals = allocation_intervals(allocation)
+        sink_pairs = [
+            (CacheSink(CacheHierarchy(cache_config)),
+             CacheSink(CacheHierarchy(cache_config), intervals))
+            for cache_config, _key in missing
+        ]
+        compiled = _cached_compiled(source, config)
+        run_compiled(
+            compiled,
+            sinks=tuple(sink for pair in sink_pairs for sink in pair),
+            entry=config.entry,
+            config=config.engine_config(),
+        )
+        for (cache_config, key), (pure, hybrid) in zip(missing, sink_pairs):
+            report = build_hierarchy_report(
+                name, scenario, cache_config, allocation,
+                pure.finish(), hybrid.finish(), energy,
+            )
+            if config.cache:
+                _tiered_put(hierarchy_cache, key, report, config)
+            reports[cache_config] = report
+    return tuple(reports[cache_config] for cache_config in cache_configs)
+
+
+def hierarchy_for_source(
+    name: str,
+    source: str,
+    config: PipelineConfig,
+    cache_config: CacheConfig,
+    scenario: str = "-",
+    spm_bytes: int | None = None,
+    energy: EnergyModel | None = None,
+    model: ForayModel | None = None,
+    allocation: Allocation | None = None,
+) -> HierarchyReport:
+    """Single-configuration convenience over
+    :func:`hierarchy_for_configs`."""
+    (report,) = hierarchy_for_configs(
+        name, source, config, (cache_config,), scenario=scenario,
+        spm_bytes=spm_bytes, energy=energy, model=model,
+        allocation=allocation,
+    )
+    return report
+
+
+def _hier_scenario_label(name: str, source: str,
+                         config: PipelineConfig) -> str:
+    """The scenario name behind a (source, input) pair, or ``"-"``.
+
+    Resolving the label from content keeps the stage entry point
+    (``full_flow`` on a registry workload's nominal source) and the
+    ``hier_suite`` cell worker on the *same* cache/store entries — both
+    label the nominal run ``"nominal"`` instead of splitting it across
+    a ``"-"`` and a ``"nominal"`` key for identical simulations.
+    """
+    from repro.workloads.registry import ALL_WORKLOADS
+
+    workload = ALL_WORKLOADS.get(name)
+    if workload is None:
+        return "-"
+    wanted_input = config.input or InputSpec()
+    for scenario in workload.scenarios:
+        if (scenario.input == wanted_input
+                and workload.source_for(scenario) == source):
+            return scenario.name
+    return "-"
+
+
+def _hier_scenarios(workload, hierarchy: HierarchyConfig) -> list[str | None]:
+    """The scenario-axis subset of one workload's matrix cells.
+
+    ``None`` stands for "the nominal source with the config's input" —
+    used for workloads that declare no scenario matrix. Declared
+    scenarios are taken in order, the nominal profiling scenario first.
+    """
+    if not workload.scenarios:
+        return [None]
+    count = (1 if hierarchy.max_scenarios is None
+             else hierarchy.max_scenarios)
+    return list(workload.scenario_names()[:count])
+
+
+def _hier_cell_worker(
+    args: tuple[str, str | None, tuple[CacheConfig, ...], PipelineConfig]
+) -> tuple[HierarchyReport, ...]:
+    """One (workload x scenario) simulation group, fan-out ready.
+
+    All swept cache configurations of the group ride a single engine
+    run (see :func:`hierarchy_for_configs`), so grouping by scenario —
+    not by individual config — is what keeps a sweep from re-simulating
+    the same trace once per configuration.
+    """
+    name, scenario_name, cache_configs, config = args
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    if scenario_name is None:
+        source, cell_config, label = workload.source, config, "-"
+    else:
+        scenario = workload.scenario(scenario_name)
+        source = workload.source_for(scenario)
+        cell_config = _scenario_config(config, scenario)
+        label = scenario.name
+    reports = hierarchy_for_configs(name, source, cell_config,
+                                    cache_configs, scenario=label)
+    persist_store_counters(config)  # see _suite_worker
+    return reports
+
+
+def hier_suite(
+    names: tuple[str, ...] | None = None,
+    jobs: int | None = None,
+    config: PipelineConfig | None = None,
+) -> list[HierarchyReport]:
+    """The full hierarchy matrix: (workload x scenario x cache-config).
+
+    (workload x scenario) groups are the unit of fan-out — ``jobs=N``
+    load-balances them over the same worker-process machinery
+    ``run_suite`` and ``validate_suite`` use, each group's cache-config
+    sweep shares one engine run, and every finished cell is served from
+    the hierarchy artifact store when warm (a repeat matrix performs
+    zero simulations). Results come back flattened in matrix order:
+    workloads in suite order, then scenarios, then cache configs.
+    ``jobs=None`` defers to ``config.jobs``; an explicit argument
+    (``jobs=1`` included) wins.
+    """
+    from repro.workloads.registry import get_workload, workload_names
+
+    config = config or PipelineConfig()
+    if jobs is None:
+        jobs = config.jobs
+    configs = config.hierarchy.configs()
+    tasks: list[
+        tuple[str, str | None, tuple[CacheConfig, ...], PipelineConfig]
+    ] = []
+    for workload in (get_workload(n) for n in (names or workload_names())):
+        tasks.extend(
+            (workload.name, scenario_name, configs, config)
+            for scenario_name in _hier_scenarios(workload, config.hierarchy)
+        )
+    groups = _fan_out(tasks, _hier_cell_worker, jobs)
+    return [report for group in groups for report in group]

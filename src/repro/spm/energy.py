@@ -1,26 +1,50 @@
-"""Per-access energy model for the SPM phase.
+"""Per-access energy model for the SPM phase and the cache co-simulation.
 
 Default numbers follow the ratios reported by Banakar et al. ("Scratchpad
 Memory: A Design Alternative for Cache On-chip Memory in Embedded
 Systems", CODES 2002 — reference [1] of the paper): an on-chip scratch pad
 access costs roughly an order of magnitude less energy than an off-chip
-main-memory access. Absolute values are placeholders in nanojoules; only
-the ratios matter for the benchmark shapes.
+main-memory access, and a cache access costs ~1.4x the equivalent scratch
+pad access (the tag array and comparators the SPM does not have — the
+core of Banakar's argument). Absolute values are placeholders in
+nanojoules; only the ratios matter for the benchmark shapes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)
 class EnergyModel:
-    """Energy per access, in nanojoules."""
+    """Energy per access, in nanojoules.
+
+    Every field must be a finite, non-negative number; malformed
+    overrides (negative costs, NaN from a bad CLI parse) are rejected at
+    construction instead of silently producing nonsense energy tables.
+    """
 
     spm_read_nj: float = 0.19
     spm_write_nj: float = 0.21
+    cache_read_nj: float = 0.27
+    cache_write_nj: float = 0.30
     main_read_nj: float = 3.57
     main_write_nj: float = 4.19
+
+    def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"energy model: {field.name} must be a number, "
+                    f"got {value!r}"
+                )
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"energy model: {field.name} must be finite and "
+                    f">= 0, got {value!r}"
+                )
 
     def main_energy(self, reads: int, writes: int) -> float:
         """Energy of serving all accesses from main memory."""
@@ -29,6 +53,10 @@ class EnergyModel:
     def spm_energy(self, reads: int, writes: int) -> float:
         """Energy of serving all accesses from the scratch pad."""
         return reads * self.spm_read_nj + writes * self.spm_write_nj
+
+    def cache_energy(self, reads: int, writes: int) -> float:
+        """Energy of ``reads``/``writes`` cache lookups (tag + data)."""
+        return reads * self.cache_read_nj + writes * self.cache_write_nj
 
     def fill_energy(self, words: int) -> float:
         """Copying ``words`` from main memory into the SPM."""

@@ -65,7 +65,8 @@ from pathlib import Path
 SCHEMA_VERSION = 1
 
 #: The namespaces the pipeline persists (one per in-memory cache).
-NAMESPACES = ("compile", "extraction", "exploration", "validation")
+NAMESPACES = ("compile", "extraction", "exploration", "validation",
+              "hierarchy")
 
 _MAGIC = b"RPROART\0"
 _ENTRY_SUFFIX = ".art"

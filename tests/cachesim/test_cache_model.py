@@ -1,0 +1,239 @@
+"""Cache-model correctness against hand-computed oracles.
+
+The miss-count tests name the classic miss classes they exercise
+(compulsory / conflict / capacity) and assert *exact* event and traffic
+counts for tiny synthetic access sequences, so any change to the
+replacement, allocation or write policies shows up as a concrete number.
+"""
+
+import pytest
+
+from repro.cachesim.model import (
+    CacheConfig,
+    CacheHierarchy,
+    hierarchy_energy,
+    parse_cache_spec,
+)
+from repro.spm.energy import EnergyModel
+
+
+def run_accesses(config, accesses):
+    """Drive a fresh hierarchy; returns the flushed CacheSimResult."""
+    hierarchy = CacheHierarchy(config)
+    reads = writes = 0
+    for addr, size, is_write in accesses:
+        if is_write:
+            writes += 1
+        else:
+            reads += 1
+        hierarchy.access(addr, size, is_write)
+    hierarchy.flush()
+    return hierarchy.result(reads, writes)
+
+
+def rd(addr, size=4):
+    return (addr, size, False)
+
+
+def wr(addr, size=4):
+    return (addr, size, True)
+
+
+class TestConfigValidation:
+    def test_line_must_be_power_of_two_word_multiple(self):
+        with pytest.raises(ValueError, match="line_bytes"):
+            CacheConfig(line_bytes=24)
+        with pytest.raises(ValueError, match="line_bytes"):
+            CacheConfig(line_bytes=2)
+
+    def test_sets_and_ways_must_be_positive(self):
+        with pytest.raises(ValueError, match="sets"):
+            CacheConfig(sets=0)
+        with pytest.raises(ValueError, match="ways"):
+            CacheConfig(ways=0)
+
+    def test_at_most_two_levels(self):
+        l3 = CacheConfig()
+        l2 = CacheConfig(sets=256, l2=l3)
+        with pytest.raises(ValueError, match="two cache levels"):
+            CacheConfig(l2=l2)
+
+    def test_l2_line_must_cover_l1_line(self):
+        with pytest.raises(ValueError, match="L2 line size"):
+            CacheConfig(line_bytes=64, l2=CacheConfig(line_bytes=32))
+
+    def test_size_bytes(self):
+        assert CacheConfig(line_bytes=32, sets=64, ways=2).size_bytes == 4096
+
+
+class TestSpecSyntax:
+    @pytest.mark.parametrize("spec", [
+        "64x2x32", "16x1x16wt", "64x2x32+l2=256x4x64",
+        "32x4x16wt+l2=128x8x64wt",
+    ])
+    def test_round_trip(self, spec):
+        assert parse_cache_spec(spec).spec() == spec
+
+    def test_wb_suffix_is_default(self):
+        assert parse_cache_spec("64x2x32wb") == CacheConfig()
+
+    @pytest.mark.parametrize("bad", [
+        "64x2", "axbxc", "64x2x32+l3=1x1x16", "64x2x32+l2=", "x", "",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_cache_spec(bad)
+
+    def test_geometry_errors_surface_through_parse(self):
+        with pytest.raises(ValueError, match="ways"):
+            parse_cache_spec("64x0x32")
+
+
+class TestMissOracle:
+    def test_compulsory_and_conflict_direct_mapped(self):
+        # Direct-mapped, 2 sets of 16B lines (32B total). Lines 0 and 2
+        # both map to set 0 and evict each other (conflict); line 0's
+        # first touch is compulsory.
+        config = CacheConfig(line_bytes=16, sets=2, ways=1)
+        result = run_accesses(config, [
+            rd(0x00),   # line 0: compulsory miss
+            rd(0x04),   # line 0: hit
+            rd(0x20),   # line 2 -> set 0: compulsory miss, evicts line 0
+            rd(0x00),   # line 0: conflict miss, evicts line 2
+        ])
+        l1 = result.l1
+        assert (l1.reads, l1.read_misses) == (4, 3)
+        assert (l1.fills, l1.evictions, l1.writebacks) == (3, 2, 0)
+        # Each fill reads one 16B line = 4 words from main; reads dirty
+        # nothing, so the flush moves nothing.
+        assert result.main_read_words == 12
+        assert result.main_write_words == 0
+
+    def test_capacity_fully_associative(self):
+        # Fully associative, 2 ways of 16B lines: the 3-line working set
+        # does not fit, so re-touching line 0 is a capacity miss (LRU
+        # evicted it when line 2 came in).
+        config = CacheConfig(line_bytes=16, sets=1, ways=2)
+        result = run_accesses(config, [
+            rd(0x00),   # compulsory
+            rd(0x10),   # compulsory
+            rd(0x20),   # compulsory, evicts line 0 (LRU)
+            rd(0x00),   # capacity miss, evicts line 1
+        ])
+        l1 = result.l1
+        assert (l1.reads, l1.read_misses) == (4, 4)
+        assert (l1.fills, l1.evictions) == (4, 2)
+
+    def test_lru_recency_is_updated_on_hit(self):
+        # A,B,A,C with 2 ways: the hit on A must make B the LRU victim,
+        # so C evicts B and the later A still hits.
+        config = CacheConfig(line_bytes=16, sets=1, ways=2)
+        a, b, c = 0x00, 0x10, 0x20
+        result = run_accesses(config, [
+            rd(a), rd(b), rd(a), rd(c), rd(a), rd(b),
+        ])
+        l1 = result.l1
+        # misses: a, b, c (evicts b), b (evicts c) — a never re-misses.
+        assert (l1.reads, l1.read_misses) == (6, 4)
+        assert l1.evictions == 2
+
+
+class TestWritePolicies:
+    def test_write_back_dirty_eviction_and_flush(self):
+        config = CacheConfig(line_bytes=16, sets=2, ways=1)
+        result = run_accesses(config, [
+            wr(0x00),   # write-allocate miss: fill + dirty
+            rd(0x20),   # conflict: evicts dirty line 0 -> write-back
+            wr(0x24),   # write hit on line 2: dirty
+        ])
+        l1 = result.l1
+        assert (l1.writes, l1.write_misses) == (2, 1)
+        assert (l1.fills, l1.writebacks) == (2, 2)  # eviction + final flush
+        # Traffic: 2 fills in, 1 eviction + 1 flush write-back out.
+        assert result.main_read_words == 8
+        assert result.main_write_words == 8
+
+    def test_flush_is_idempotent(self):
+        config = CacheConfig(line_bytes=16, sets=2, ways=1)
+        hierarchy = CacheHierarchy(config)
+        hierarchy.access(0x00, 4, True)
+        hierarchy.flush()
+        hierarchy.flush()
+        assert hierarchy.l1.writebacks == 1
+        assert hierarchy.main.write_words == 4
+
+    def test_write_through_no_allocate(self):
+        config = CacheConfig(line_bytes=16, sets=2, ways=1,
+                             write_back=False)
+        result = run_accesses(config, [
+            wr(0x00),   # write miss: no fill, word goes straight to main
+            rd(0x00),   # read miss: fill
+            wr(0x04),   # write hit: word still written through
+        ])
+        l1 = result.l1
+        assert (l1.writes, l1.write_misses) == (2, 1)
+        assert l1.fills == 1
+        assert l1.writebacks == 0          # WT lines are never dirty
+        assert l1.through_write_words == 2
+        assert result.main_read_words == 4   # one line fill
+        assert result.main_write_words == 2  # two written-through words
+
+    def test_line_crossing_access_touches_both_lines(self):
+        config = CacheConfig(line_bytes=16, sets=2, ways=1)
+        result = run_accesses(config, [rd(0x0E, size=4)])
+        l1 = result.l1
+        assert (l1.reads, l1.read_misses, l1.fills) == (2, 2, 2)
+
+
+class TestTwoLevels:
+    def test_l1_miss_served_by_l2_line(self):
+        # L1: 16B lines; L2: 32B lines. Two adjacent L1 lines share one
+        # L2 line, so the second L1 miss hits in L2 and main memory is
+        # read exactly once (one 32B L2 line = 8 words).
+        config = CacheConfig(line_bytes=16, sets=2, ways=1,
+                             l2=CacheConfig(line_bytes=32, sets=4, ways=2))
+        result = run_accesses(config, [rd(0x00), rd(0x10)])
+        l1, l2 = result.levels
+        assert (l1.read_misses, l1.fills) == (2, 2)
+        assert (l2.reads, l2.read_misses, l2.fills) == (2, 1, 1)
+        assert result.main_read_words == 8
+
+    def test_l1_writeback_lands_in_l2_then_main_on_flush(self):
+        config = CacheConfig(line_bytes=16, sets=1, ways=1,
+                             l2=CacheConfig(line_bytes=16, sets=4, ways=2))
+        result = run_accesses(config, [
+            wr(0x00),   # dirty line 0 in L1 (fill came via L2)
+            rd(0x10),   # evicts dirty line 0 -> write-back dirties L2
+        ])
+        l1, l2 = result.levels
+        # L1: line 0's eviction is its only write-back (line 1 is clean);
+        # the dirty data then sits in L2 until the final flush pushes it
+        # to main. Both fills missed L2, so main served 2 lines of reads.
+        assert (l1.fills, l1.writebacks) == (2, 1)
+        assert (l2.fills, l2.writebacks) == (2, 1)
+        assert (l2.reads, l2.writes) == (2, 1)
+        assert result.main_read_words == 8
+        assert result.main_write_words == 4
+
+
+class TestEnergyAccounting:
+    def test_single_level_energy_formula(self):
+        energy = EnergyModel()
+        config = CacheConfig(line_bytes=16, sets=2, ways=1)
+        result = run_accesses(config, [rd(0x00), rd(0x04), wr(0x20)])
+        l1 = result.l1
+        line_words = 4
+        expected = energy.cache_energy(l1.reads, l1.writes)
+        expected += l1.fills * line_words * (energy.main_read_nj
+                                             + energy.cache_write_nj)
+        expected += l1.writebacks * line_words * (energy.cache_read_nj
+                                                  + energy.main_write_nj)
+        assert hierarchy_energy(result, energy) == pytest.approx(expected)
+
+    def test_more_misses_cost_more_energy(self):
+        energy = EnergyModel()
+        thrash = CacheConfig(line_bytes=16, sets=1, ways=1)
+        roomy = CacheConfig(line_bytes=16, sets=8, ways=2)
+        pattern = [rd(0x00), rd(0x20), rd(0x00), rd(0x20)]
+        assert (hierarchy_energy(run_accesses(thrash, pattern), energy)
+                > hierarchy_energy(run_accesses(roomy, pattern), energy))

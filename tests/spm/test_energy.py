@@ -1,0 +1,58 @@
+"""EnergyModel field validation and the cache-energy extension.
+
+Regression: a malformed energy override (negative cost, NaN from a bad
+CLI parse) used to flow silently into every benefit computation and
+produce nonsense tables; construction now fails loudly instead.
+"""
+
+import math
+
+import pytest
+
+from repro.spm.energy import EnergyModel
+
+
+class TestValidation:
+    def test_default_model_is_valid(self):
+        model = EnergyModel()
+        assert model.spm_read_nj < model.cache_read_nj < model.main_read_nj
+
+    @pytest.mark.parametrize("field", [
+        "spm_read_nj", "spm_write_nj", "cache_read_nj", "cache_write_nj",
+        "main_read_nj", "main_write_nj",
+    ])
+    def test_negative_energy_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            EnergyModel(**{field: -0.1})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_energy_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            EnergyModel(main_read_nj=bad)
+
+    def test_non_numeric_energy_rejected(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            EnergyModel(spm_write_nj="0.2")
+        with pytest.raises(ValueError, match="must be a number"):
+            EnergyModel(spm_write_nj=True)
+
+    def test_zero_energy_is_allowed(self):
+        # A free memory is a legitimate modelling choice (ablations).
+        assert EnergyModel(spm_read_nj=0.0).spm_energy(10, 0) == 0.0
+
+
+class TestCacheEnergy:
+    def test_cache_energy_linear_in_accesses(self):
+        model = EnergyModel(cache_read_nj=2.0, cache_write_nj=3.0)
+        assert model.cache_energy(5, 4) == pytest.approx(22.0)
+
+    def test_existing_helpers_unchanged(self):
+        model = EnergyModel()
+        assert model.main_energy(1, 1) == pytest.approx(
+            model.main_read_nj + model.main_write_nj)
+        assert model.fill_energy(2) == pytest.approx(
+            2 * (model.main_read_nj + model.spm_write_nj))
+        assert model.writeback_energy(2) == pytest.approx(
+            2 * (model.spm_read_nj + model.main_write_nj))
+        assert math.isfinite(model.cache_energy(0, 0))
