@@ -21,8 +21,11 @@ from __future__ import annotations
 from bisect import bisect_right
 
 from repro.cachesim.model import CacheHierarchy, CacheSimResult
-from repro.sim.trace import Access, TraceRecord
+from repro.sim.trace import HAVE_NUMPY, Access, ColumnBlock, TraceRecord
 from repro.spm.graph import reference_interval
+
+if HAVE_NUMPY:
+    import numpy as _np
 
 
 def merge_intervals(
@@ -73,6 +76,9 @@ class CacheSink:
         self._intervals = merge_intervals(spm_intervals)
         self._starts = [lo for lo, _hi in self._intervals]
         self._ends = [hi for _lo, hi in self._intervals]
+        if HAVE_NUMPY and self._starts:
+            self._np_starts = _np.array(self._starts, dtype=_np.int64)
+            self._np_ends = _np.array(self._ends, dtype=_np.int64)
         self.reads = 0
         self.writes = 0
         self.spm_reads = 0
@@ -116,6 +122,103 @@ class CacheSink:
         self.writes += writes
         self.spm_reads += spm_reads
         self.spm_writes += spm_writes
+
+    def emit_columns(self, block: ColumnBlock) -> None:
+        """Columnar fast path: vectorized SPM routing and read/write
+        tallies, then — for the dominant single-level write-back case —
+        an inlined LRU walk over plain line-number lists with run
+        skipping (consecutive accesses to one line collapse to counter
+        bumps). Counter-for-counter identical to :meth:`emit_block`:
+        write-through, L2 and line-crossing accesses take the exact
+        per-access path through :meth:`CacheHierarchy.access`.
+        """
+        if block.n == 0:
+            return
+        if not HAVE_NUMPY:
+            self.emit_block(*block.to_tuples())
+            return
+        addrs = block.addr
+        sizes = block.size
+        w = block.is_write != 0
+        if self._starts:
+            index = _np.searchsorted(self._np_starts, addrs,
+                                     side="right") - 1
+            inside = index >= 0
+            inside &= addrs < self._np_ends[_np.where(inside, index, 0)]
+            spm_count = int(_np.count_nonzero(inside))
+            if spm_count:
+                spm_writes = int(_np.count_nonzero(inside & w))
+                self.spm_writes += spm_writes
+                self.spm_reads += spm_count - spm_writes
+                keep = ~inside
+                addrs = addrs[keep]
+                sizes = sizes[keep]
+                w = w[keep]
+                if addrs.shape[0] == 0:
+                    return
+        n = addrs.shape[0]
+        writes = int(_np.count_nonzero(w))
+        self.writes += writes
+        self.reads += n - writes
+        hierarchy = self.hierarchy
+        l1 = hierarchy.l1
+        line_bytes = l1.line_bytes
+        crossing = ((addrs & (line_bytes - 1)) + sizes) > line_bytes
+        if (hierarchy.l2 is not None or not l1._write_back
+                or bool(crossing.any())):
+            access = hierarchy.access
+            for addr, size, is_write in zip(addrs.tolist(), sizes.tolist(),
+                                            w.tolist()):
+                access(addr, size, is_write)
+            return
+        # Single-level write-back, no line crossings: every access is
+        # exactly one _touch on its line, and addr/size no longer matter.
+        lines_list = (addrs >> l1._shift).tolist()
+        writes_list = w.tolist()
+        sets = l1._sets
+        nsets = l1._nsets
+        fill = l1._fill
+        reads_c = writes_c = read_misses = write_misses = 0
+        prev_line = -1
+        prev_set: dict | None = None
+        prev_dirty = False
+        for line, is_write in zip(lines_list, writes_list):
+            if line == prev_line:
+                # The line is already MRU; pop+reinsert would not move
+                # it, so only the counters (and a dirty upgrade) remain.
+                if is_write:
+                    writes_c += 1
+                    if not prev_dirty:
+                        prev_set[line] = True
+                        prev_dirty = True
+                else:
+                    reads_c += 1
+                continue
+            lset = sets[line % nsets]
+            dirty = lset.pop(line, None)
+            if is_write:
+                writes_c += 1
+                if dirty is None:
+                    write_misses += 1
+                    fill(line, lset)
+                lset[line] = True
+                prev_dirty = True
+            else:
+                reads_c += 1
+                if dirty is None:
+                    read_misses += 1
+                    fill(line, lset)
+                    lset[line] = False
+                    prev_dirty = False
+                else:
+                    lset[line] = dirty
+                    prev_dirty = dirty
+            prev_line = line
+            prev_set = lset
+        l1.reads += reads_c
+        l1.writes += writes_c
+        l1.read_misses += read_misses
+        l1.write_misses += write_misses
 
     def _route(self, addr: int, size: int, is_write: bool) -> None:
         index = bisect_right(self._starts, addr) - 1

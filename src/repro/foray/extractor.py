@@ -26,12 +26,17 @@ from repro.foray.filters import FilterConfig
 from repro.foray.looptree import LoopNode, LoopTreeBuilder
 from repro.foray.model import ForayLoop, ForayModel, ForayReference
 from repro.sim.trace import (
+    HAVE_NUMPY,
     LIB_PC_BASE,
     Access,
     CheckpointMap,
+    ColumnBlock,
     TraceRecord,
     is_library_pc,
 )
+
+if HAVE_NUMPY:
+    import numpy as _np
 
 
 @dataclass
@@ -126,6 +131,74 @@ class ForayExtractor:
                 solver = ReferenceSolver(pc, node.depth)
                 node.references[pc] = solver
             solver.observe(addr, iterators, is_write, size)
+        while ci < ncp:
+            entry = checkpoints[ci]
+            ci += 1
+            on_checkpoint(entry[1], entry[2])
+
+    def emit_columns(self, block: ColumnBlock) -> None:
+        """Columnar sink entry point.
+
+        The segment-independent Table III tallies (access counts and
+        footprint sets) are computed block-wide from the columns; the
+        order-dependent work — loop-tree checkpoints, per-reference
+        solver observations — walks the plain-list views, which keeps
+        every value stashed in long-lived sets a native Python int.
+        """
+        checkpoints = block.checkpoints
+        tree = self._tree
+        on_checkpoint = tree.on_checkpoint_code
+        ci = 0
+        ncp = len(checkpoints)
+        n = block.n
+        if n == 0:
+            while ci < ncp:
+                entry = checkpoints[ci]
+                ci += 1
+                on_checkpoint(entry[1], entry[2])
+            return
+        pcs, addrs, sizes, writes = block.lists()
+        stats = self.stats
+        stats.total_accesses += n
+        if HAVE_NUMPY:
+            lib_count = int(_np.count_nonzero(block.pc >= LIB_PC_BASE))
+        else:
+            lib_count = sum(1 for pc in pcs if pc >= LIB_PC_BASE)
+        stats.lib_accesses += lib_count
+        stats.user_accesses += n - lib_count
+        if lib_count == 0:
+            stats.user_addresses.update(addrs)
+        elif lib_count == n:
+            stats.lib_addresses.update(addrs)
+        elif HAVE_NUMPY:
+            lib_mask = block.pc >= LIB_PC_BASE
+            stats.lib_addresses.update(block.addr[lib_mask].tolist())
+            stats.user_addresses.update(block.addr[~lib_mask].tolist())
+        else:
+            for pc, addr in zip(pcs, addrs):
+                if pc >= LIB_PC_BASE:
+                    stats.lib_addresses.add(addr)
+                else:
+                    stats.user_addresses.add(addr)
+        node = tree.current
+        iterators = tree.current_iterators()
+        for i, pc in enumerate(pcs):
+            if ci < ncp and checkpoints[ci][0] <= i:
+                while ci < ncp and checkpoints[ci][0] <= i:
+                    entry = checkpoints[ci]
+                    ci += 1
+                    on_checkpoint(entry[1], entry[2])
+                node = tree.current
+                iterators = tree.current_iterators()
+            if pc >= LIB_PC_BASE:
+                stats.lib_refs.add((node.uid, pc))
+                continue
+            stats.user_refs.add((node.uid, pc))
+            solver = node.references.get(pc)
+            if solver is None:
+                solver = ReferenceSolver(pc, node.depth)
+                node.references[pc] = solver
+            solver.observe(addrs[i], iterators, writes[i], sizes[i])
         while ci < ncp:
             entry = checkpoints[ci]
             ci += 1

@@ -43,6 +43,7 @@ from repro.sim.trace import (
     LIB_PC_BASE,
     Access,
     CheckpointMap,
+    ColumnBlock,
     TraceRecord,
     is_library_pc,
 )
@@ -221,6 +222,43 @@ class ValidationSink:
             state = states.get((path_key, pc))
             if state is not None:
                 _score_access(state, addr, iterators)
+        while ci < ncp:
+            entry = checkpoints[ci]
+            ci += 1
+            on_checkpoint(entry[1], entry[2])
+
+    def emit_columns(self, block: ColumnBlock) -> None:
+        """Columnar sink entry point: same per-segment recomputation as
+        :meth:`emit_block`, walking the block's plain-list views (sizes
+        and write flags are never consulted by scoring)."""
+        checkpoints = block.checkpoints
+        builder = self._builder
+        states = self._states
+        on_checkpoint = builder.on_checkpoint_code
+        ci = 0
+        ncp = len(checkpoints)
+        if block.n:
+            pcs, addrs, _sizes, _writes = block.lists()
+            path_key = tuple(
+                node.begin_id for node in builder.current.path_from_root()
+            )
+            iterators = builder.current_iterators()
+            for i, pc in enumerate(pcs):
+                if ci < ncp and checkpoints[ci][0] <= i:
+                    while ci < ncp and checkpoints[ci][0] <= i:
+                        entry = checkpoints[ci]
+                        ci += 1
+                        on_checkpoint(entry[1], entry[2])
+                    path_key = tuple(
+                        node.begin_id
+                        for node in builder.current.path_from_root()
+                    )
+                    iterators = builder.current_iterators()
+                if pc >= LIB_PC_BASE:
+                    continue
+                state = states.get((path_key, pc))
+                if state is not None:
+                    _score_access(state, addrs[i], iterators)
         while ci < ncp:
             entry = checkpoints[ci]
             ci += 1

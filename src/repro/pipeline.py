@@ -79,6 +79,7 @@ from repro.foray.validate import (
 from repro.sim.inputs import InputSpec
 from repro.sim.machine import (
     DEFAULT_ENGINE,
+    DEFAULT_TRACE_BLOCK,
     CompiledProgram,
     EngineConfig,
     RunResult,
@@ -180,6 +181,10 @@ class PipelineConfig:
     cache_dir: str | None = None
     entry: str = "main"
     max_steps: int = DEFAULT_MAX_STEPS
+    #: Superinstruction fusion on the bytecode engine.
+    fusion: bool = True
+    #: Access-block size of the columnar trace protocol.
+    trace_block: int = DEFAULT_TRACE_BLOCK
     filter_config: FilterConfig | None = None
     spm: SpmConfig = SpmConfig()
     #: Input ensemble for ``read_samples`` (None = the default spec).
@@ -189,6 +194,8 @@ class PipelineConfig:
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(engine=self.engine, max_steps=self.max_steps,
+                            fusion=self.fusion,
+                            trace_block_size=self.trace_block,
                             input=self.input or InputSpec())
 
 
@@ -350,10 +357,16 @@ def _compile_key(source: str) -> str:
 
 
 def _extraction_key(source: str, config: PipelineConfig) -> str:
+    # fusion/trace_block cannot change the extracted model (the parity
+    # tests pin that down), but they are part of the producing engine's
+    # identity: keying on them keeps warm artifacts from one trace
+    # protocol from masking a defect in the other.
     return _content_key(
         "extract",
         source,
         config.engine,
+        config.fusion,
+        config.trace_block,
         config.entry,
         config.max_steps,
         config.filter_config or FilterConfig(),

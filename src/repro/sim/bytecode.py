@@ -36,6 +36,7 @@ saved per-frame pcs.
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass, field
 
 from repro.lang import ast_nodes as ast
@@ -65,8 +66,10 @@ from repro.sim.trace import (
     BODY_END_CODE,
     DEFAULT_TRACE_BLOCK,
     LIB_PC_BASE,
+    ColumnBlock,
     TraceSink,
     load_pc,
+    split_sinks,
     store_pc,
 )
 
@@ -135,6 +138,19 @@ _ADDR_MASK = 0xFFFFFFFF
     OP_STR,         # (op, dst, text)
     OP_GADDR,       # (op, dst, global_index)
 ) = range(56)
+
+# Superinstructions produced by the fusion pass (:func:`fuse_function`).
+# They never reach the classic dispatch loop: fused code is executed only
+# by the block-compiled fast path (:mod:`repro.sim.specialize`), while the
+# dispatch loop always runs the unfused form.
+(
+    OP_LDELEM_I,    # (op, dst, base, index, elem_size, size, fmt, signed, pc)
+    OP_LDELEM_F,    # (op, dst, base, index, elem_size, size, fmt, pc)
+    OP_STELEM_I,    # (op, base, index, elem_size, src, dst, size, mask, maxv, fmt, pc)
+    OP_STELEM_F,    # (op, base, index, elem_size, src, dst, size, fmt, pc)
+    OP_STELEM_P,    # (op, base, index, elem_size, src, dst, pc)
+    OP_BR,          # (op, cmp_op, a, b, target, jump_if_true)
+) = range(56, 62)
 
 
 def _int_conv(ctype: IntType) -> tuple[int, int]:
@@ -218,6 +234,15 @@ class BytecodeProgram:
     def instruction_count(self) -> int:
         total = len(self.globals_init.code)
         return total + sum(len(fn.code) for fn in self.functions.values())
+
+    def __getstate__(self):
+        # The fused twin and the compiled specialization are per-process
+        # derived caches (the latter holds a code object); recompute them
+        # after unpickling instead of shipping them across processes.
+        state = dict(self.__dict__)
+        state.pop("_fused", None)
+        state.pop("_specialization", None)
+        return state
 
 
 # ---------------------------------------------------------------------------
@@ -1095,13 +1120,19 @@ class BytecodeVM:
         max_call_depth: int = 512,
         trace_block_size: int = DEFAULT_TRACE_BLOCK,
         input_spec: InputSpec | None = None,
+        fusion: bool = True,
     ):
         self.bytecode = bytecode
         self.program = bytecode.program
         self._sinks = tuple(sinks)
+        self._col_sinks, self._tup_sinks = split_sinks(self._sinks)
         self._max_steps = max_steps
         self._max_call_depth = max_call_depth
         self._block_size = max(1, trace_block_size)
+        # The access buffer is flat interleaved (4 ints per access), so
+        # the flush threshold is scaled once here.
+        self._flat_limit = 4 * self._block_size
+        self._fusion = bool(fusion)
 
         self.memory = Memory()
         self._globals_alloc = BumpAllocator(GLOBAL_BASE)
@@ -1116,7 +1147,10 @@ class BytecodeVM:
         #: Sample source of the read_samples() builtin (seeded ensemble).
         self.input_stream = InputStream(input_spec)
 
-        self._acc_buf: list[tuple[int, int, int, bool]] = []
+        #: Flat interleaved access buffer: [pc, addr, size, is_write(0/1)]
+        #: per access. Cleared in place on flush so cached ``extend``
+        #: bindings (dispatch loop, specialized code) stay valid.
+        self._acc_buf: list[int] = []
         self._cp_buf: list[tuple[int, int, int]] = []
 
         self._layout_globals()
@@ -1150,22 +1184,31 @@ class BytecodeVM:
 
     def _trace_access(self, pc: int, addr: int, size: int,
                       is_write: bool) -> None:
-        self._acc_buf.append((pc, addr, size, is_write))
-        if len(self._acc_buf) >= self._block_size:
+        self._acc_buf.extend((pc, addr, size, 1 if is_write else 0))
+        if len(self._acc_buf) >= self._flat_limit:
             self._flush_trace()
 
     def _trace_checkpoint(self, checkpoint_id: int, kind_code: int) -> None:
-        self._cp_buf.append((len(self._acc_buf), checkpoint_id, kind_code))
+        self._cp_buf.append(
+            (len(self._acc_buf) >> 2, checkpoint_id, kind_code))
 
     def _flush_trace(self) -> None:
-        if not self._acc_buf and not self._cp_buf:
+        flat, cps = self._acc_buf, self._cp_buf
+        if not flat and not cps:
             return
-        accesses, checkpoints = self._acc_buf, self._cp_buf
-        self._acc_buf, self._cp_buf = [], []
-        self.stats.accesses += len(accesses)
-        self.stats.checkpoints += len(checkpoints)
-        for sink in self._sinks:
-            sink.emit_block(accesses, checkpoints)
+        self.stats.accesses += len(flat) >> 2
+        self.stats.checkpoints += len(cps)
+        if self._col_sinks or self._tup_sinks:
+            block = ColumnBlock.from_flat(flat, cps)
+            for sink in self._col_sinks:
+                sink.emit_columns(block)
+            if self._tup_sinks:
+                accesses, checkpoints = block.to_tuples()
+                for sink in self._tup_sinks:
+                    sink.emit_block(accesses, checkpoints)
+        # Clear in place: hot paths hold bound .extend/.append methods.
+        del flat[:]
+        del cps[:]
 
     # ------------------------------------------------------------------
     # Startup
@@ -1199,6 +1242,10 @@ class BytecodeVM:
         fn = self.bytecode.functions.get(entry)
         if fn is None:
             raise MiniCRuntimeError(f"no entry function {entry!r}")
+        if self._fusion:
+            from repro.sim.specialize import get_specialization
+            return self._run_specialized(
+                get_specialization(self.bytecode), entry)
         self._tracing = True
         try:
             result = self._execute(fn, [], budget_active=True)
@@ -1207,6 +1254,34 @@ class BytecodeVM:
         finally:
             self._tracing = False
             self._flush_trace()
+        return int(result) if result is not None else 0
+
+    def _run_specialized(self, spec, entry: str) -> int:
+        """Run the block-compiled fast path (fused code as generated
+        Python). Mirrors :meth:`run`'s classic branch observable for
+        observable: stats, trace stream, stdout and exit code."""
+        env = spec.bind(self)
+        driver = env[spec.drivers[entry]]
+        # Simulated calls become nested Python calls here (one driver and
+        # one block frame per simulated frame), so deep simulated
+        # recursion needs real recursion headroom.
+        limit = sys.getrecursionlimit()
+        needed = self._max_call_depth * 4 + 200
+        if limit < needed:
+            sys.setrecursionlimit(needed)
+        env["_S"][0] = self.stats.steps
+        self.stats.calls += 1
+        self._tracing = True
+        try:
+            result = driver()
+        except ExitSignal as signal:
+            return signal.code
+        finally:
+            self.stats.steps = env["_S"][0]
+            self._tracing = False
+            self._flush_trace()
+            if sys.getrecursionlimit() != limit:
+                sys.setrecursionlimit(limit)
         return int(result) if result is not None else 0
 
     def _bind_frame(self, fn: BytecodeFunction, args: list) -> tuple[list, int]:
@@ -1251,7 +1326,9 @@ class BytecodeVM:
         mem_page = memory._page
         unpack = _UNPACK
         pack = _PACK
-        acc_append = self._acc_buf.append
+        acc_buf = self._acc_buf
+        acc_ext = acc_buf.extend
+        flat_limit = self._flat_limit
         mask32 = _ADDR_MASK
         max_steps = self._max_steps
         steps = self.stats.steps
@@ -1283,10 +1360,9 @@ class BytecodeVM:
                         else:  # page-crossing (unaligned) access
                             regs[ins[1]] = memory.read_int(addr, size, ins[6])
                         if self._tracing:
-                            acc_append((ins[7], addr, size, False))
-                            if len(self._acc_buf) >= self._block_size:
+                            acc_ext((ins[7], addr, size, 0))
+                            if len(acc_buf) >= flat_limit:
                                 self._flush_trace()
-                                acc_append = self._acc_buf.append
                     elif op == OP_ELEM:
                         regs[ins[1]] = (
                             regs[ins[2]] + int(regs[ins[3]]) * ins[4]
@@ -1307,10 +1383,9 @@ class BytecodeVM:
                             value -= ins[6] + 1
                         regs[ins[4]] = value
                         if self._tracing and ins[9] >= 0:
-                            acc_append((ins[9], addr, size, True))
-                            if len(self._acc_buf) >= self._block_size:
+                            acc_ext((ins[9], addr, size, 1))
+                            if len(acc_buf) >= flat_limit:
                                 self._flush_trace()
-                                acc_append = self._acc_buf.append
                     elif op == OP_STEP:
                         steps += ins[1]
                         if steps > max_steps:
@@ -1340,11 +1415,10 @@ class BytecodeVM:
                     elif op == OP_CKPT:
                         if self._tracing:
                             self._cp_buf.append(
-                                (len(self._acc_buf), ins[1], ins[2]))
+                                (len(acc_buf) >> 2, ins[1], ins[2]))
                             # Access-free loops must still flush in blocks.
                             if len(self._cp_buf) >= self._block_size:
                                 self._flush_trace()
-                                acc_append = self._acc_buf.append
                     elif op == OP_CONST:
                         regs[ins[1]] = ins[2]
                     elif op == OP_MOV:
@@ -1373,10 +1447,9 @@ class BytecodeVM:
                         else:
                             regs[ins[1]] = memory.read_float(addr, size)
                         if self._tracing:
-                            acc_append((ins[6], addr, size, False))
-                            if len(self._acc_buf) >= self._block_size:
+                            acc_ext((ins[6], addr, size, 0))
+                            if len(acc_buf) >= flat_limit:
                                 self._flush_trace()
-                                acc_append = self._acc_buf.append
                     elif op == OP_STORE_F:
                         addr = (regs[ins[1]] + ins[2]) & mask32
                         value = float(regs[ins[3]])
@@ -1395,10 +1468,9 @@ class BytecodeVM:
                             memory.write_float(addr, value, size)
                         regs[ins[4]] = value
                         if self._tracing and ins[7] >= 0:
-                            acc_append((ins[7], addr, size, True))
-                            if len(self._acc_buf) >= self._block_size:
+                            acc_ext((ins[7], addr, size, 1))
+                            if len(acc_buf) >= flat_limit:
                                 self._flush_trace()
-                                acc_append = self._acc_buf.append
                     elif op == OP_STORE_P:
                         addr = (regs[ins[1]] + ins[2]) & mask32
                         value = int(regs[ins[3]]) & mask32
@@ -1412,10 +1484,9 @@ class BytecodeVM:
                             memory.write_int(addr, value, 4)
                         regs[ins[4]] = value
                         if self._tracing and ins[5] >= 0:
-                            acc_append((ins[5], addr, 4, True))
-                            if len(self._acc_buf) >= self._block_size:
+                            acc_ext((ins[5], addr, 4, 1))
+                            if len(acc_buf) >= flat_limit:
                                 self._flush_trace()
-                                acc_append = self._acc_buf.append
                     elif op == OP_LE:
                         regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
                     elif op == OP_GT:
@@ -1446,9 +1517,6 @@ class BytecodeVM:
                 elif op == OP_CALLB:
                     call_args = [regs[slot] for slot in ins[3]]
                     regs[ins[1]] = libc.call_builtin(self, ins[2], call_args)
-                    # A builtin's lib_load/lib_store may have flushed the
-                    # block buffer; re-bind the cached append.
-                    acc_append = self._acc_buf.append
                 elif op == OP_RET or op == OP_RET0:
                     result = regs[ins[1]] if op == OP_RET else None
                     if result is None and not fn.returns_void:
@@ -1587,3 +1655,422 @@ class BytecodeVM:
             ]
             for _, body_end_id in sorted(open_regions, reverse=True):
                 self._trace_checkpoint(body_end_id, BODY_END_CODE)
+
+    def _pending_body_ends_one(self, regions, frame_pc: int) -> None:
+        """Replay one frame's pending body-end checkpoints (the
+        specialized drivers call this per frame as ``exit()`` unwinds,
+        innermost-first — the same order :meth:`_emit_pending_body_ends`
+        produces for the classic loop's explicit frame stack)."""
+        if not self._tracing:
+            return
+        open_regions = [
+            (start, body_end_id)
+            for start, end, body_end_id in regions
+            if start <= frame_pc < end
+        ]
+        for _, body_end_id in sorted(open_regions, reverse=True):
+            self._trace_checkpoint(body_end_id, BODY_END_CODE)
+
+
+# ---------------------------------------------------------------------------
+# Superinstruction fusion pass
+#
+# A peephole rewriter over the lowered code: the address-compute /
+# load/store idiom (ELEM or ADD_P feeding a LOAD/STORE at offset 0),
+# constant-index addressing, member-offset chains, compare-and-branch
+# pairs and adjacent step counters each collapse into one
+# superinstruction. Fusion is applied only when the intermediate register
+# is provably dead afterwards (backward liveness over register bitmasks),
+# so the visible machine state — memory, trace stream, stats, register
+# file at every observation point — is unchanged. The classic dispatch
+# loop never sees fused code; it exists for the block compiler
+# (:mod:`repro.sim.specialize`), which turns each superinstruction into
+# one straight-line Python statement writing directly into the flat
+# column buffer.
+# ---------------------------------------------------------------------------
+
+#: Register-read operand positions per opcode. OP_CALL/OP_CALLB read the
+#: slot *list* in ins[3] and are special-cased in :func:`_liveness`.
+_READS: dict[int, tuple[int, ...]] = {
+    OP_STEP: (), OP_CONST: (), OP_MOV: (2,), OP_ELEM: (2, 3),
+    OP_MEMBOFF: (2,), OP_LOAD_I: (2,), OP_LOAD_F: (2,),
+    OP_STORE_I: (1, 3), OP_STORE_F: (1, 3), OP_STORE_P: (1, 3),
+    OP_ADD_I: (2, 3), OP_SUB_I: (2, 3), OP_MUL_I: (2, 3), OP_ADDK_I: (2,),
+    OP_LT: (2, 3), OP_LE: (2, 3), OP_GT: (2, 3), OP_GE: (2, 3),
+    OP_EQ: (2, 3), OP_NE: (2, 3),
+    OP_JMP: (), OP_JZ: (1,), OP_JNZ: (1,), OP_CKPT: (),
+    OP_ADD_P: (2, 3), OP_ADDK_P: (2,),
+    OP_ADD_F: (2, 3), OP_SUB_F: (2, 3), OP_MUL_F: (2, 3), OP_DIV_F: (2, 3),
+    OP_DIV_I: (2, 3), OP_MOD_I: (2, 3),
+    OP_SHL: (2, 3), OP_SHR: (2, 3), OP_AND: (2, 3), OP_OR: (2, 3),
+    OP_XOR: (2, 3), OP_SUB_PI: (2, 3), OP_SUB_PP: (2, 3), OP_ADDK_F: (2,),
+    OP_NEG_I: (2,), OP_NEG_F: (2,), OP_NOT: (2,), OP_BNOT: (2,),
+    OP_CONV_I: (2,), OP_CONV_F: (2,), OP_CONV_P: (2,),
+    OP_RET: (1,), OP_RET0: (),
+    OP_DECL: (), OP_ZFILL: (1,), OP_WBYTES: (1,), OP_STR: (), OP_GADDR: (),
+    OP_LDELEM_I: (2, 3), OP_LDELEM_F: (2, 3),
+    OP_STELEM_I: (1, 2, 4), OP_STELEM_F: (1, 2, 4), OP_STELEM_P: (1, 2, 4),
+    OP_BR: (2, 3),
+}
+
+#: Written operand position per opcode (absent → no register write).
+_WRITES: dict[int, int] = {
+    OP_CONST: 1, OP_MOV: 1, OP_ELEM: 1, OP_MEMBOFF: 1,
+    OP_LOAD_I: 1, OP_LOAD_F: 1,
+    OP_STORE_I: 4, OP_STORE_F: 4, OP_STORE_P: 4,
+    OP_ADD_I: 1, OP_SUB_I: 1, OP_MUL_I: 1, OP_ADDK_I: 1,
+    OP_LT: 1, OP_LE: 1, OP_GT: 1, OP_GE: 1, OP_EQ: 1, OP_NE: 1,
+    OP_ADD_P: 1, OP_ADDK_P: 1,
+    OP_ADD_F: 1, OP_SUB_F: 1, OP_MUL_F: 1, OP_DIV_F: 1,
+    OP_DIV_I: 1, OP_MOD_I: 1,
+    OP_SHL: 1, OP_SHR: 1, OP_AND: 1, OP_OR: 1, OP_XOR: 1,
+    OP_SUB_PI: 1, OP_SUB_PP: 1, OP_ADDK_F: 1,
+    OP_NEG_I: 1, OP_NEG_F: 1, OP_NOT: 1, OP_BNOT: 1,
+    OP_CONV_I: 1, OP_CONV_F: 1, OP_CONV_P: 1,
+    OP_CALL: 1, OP_CALLB: 1,
+    OP_DECL: 1, OP_STR: 1, OP_GADDR: 1,
+    OP_LDELEM_I: 1, OP_LDELEM_F: 1,
+    OP_STELEM_I: 5, OP_STELEM_F: 5, OP_STELEM_P: 5,
+}
+
+_CMP_OPS = frozenset((OP_LT, OP_LE, OP_GT, OP_GE, OP_EQ, OP_NE))
+_MEM_OPS = frozenset((OP_LOAD_I, OP_LOAD_F, OP_STORE_I, OP_STORE_F,
+                      OP_STORE_P))
+_FUSED_MEM_OPS = frozenset((OP_LDELEM_I, OP_LDELEM_F, OP_STELEM_I,
+                            OP_STELEM_F, OP_STELEM_P))
+
+#: Instructions with no observable effect and no way to raise: a STEP's
+#: count may move backwards across them (see :func:`_sink_steps`).
+_PURE_OPS = frozenset((
+    OP_CONST, OP_MOV, OP_ELEM, OP_ADD_P, OP_MEMBOFF, OP_ADDK_P,
+    OP_ADD_I, OP_SUB_I, OP_MUL_I, OP_ADDK_I,
+    OP_ADD_F, OP_SUB_F, OP_MUL_F, OP_ADDK_F,
+    OP_LT, OP_LE, OP_GT, OP_GE, OP_EQ, OP_NE,
+    OP_NEG_I, OP_NEG_F, OP_NOT, OP_BNOT,
+    OP_CONV_I, OP_CONV_F, OP_CONV_P,
+    OP_SHL, OP_SHR, OP_AND, OP_OR, OP_XOR,
+    OP_SUB_PI, OP_SUB_PP, OP_GADDR,
+))
+
+
+def _liveness(code) -> list[int]:
+    """Per-instruction live-*out* register bitmask (backward fixpoint).
+
+    Exceptions need no edges: a MiniC runtime error or budget overrun
+    aborts the whole run, and the ``exit()`` unwind path reads only the
+    per-frame pcs, never registers.
+    """
+    n = len(code)
+    use = [0] * n
+    kill = [0] * n
+    succs: list[tuple[int, ...]] = []
+    for i, ins in enumerate(code):
+        op = ins[0]
+        if op == OP_CALL or op == OP_CALLB:
+            u = 0
+            for slot in ins[3]:
+                u |= 1 << slot
+            use[i] = u
+            kill[i] = 1 << ins[1]
+        else:
+            u = 0
+            for pos in _READS[op]:
+                u |= 1 << ins[pos]
+            use[i] = u
+            w = _WRITES.get(op)
+            if w is not None:
+                kill[i] = 1 << ins[w]
+        if op == OP_JMP:
+            succs.append((ins[1],))
+        elif op == OP_JZ or op == OP_JNZ:
+            succs.append((i + 1, ins[2]))
+        elif op == OP_BR:
+            succs.append((i + 1, ins[4]))
+        elif op == OP_RET or op == OP_RET0:
+            succs.append(())
+        else:
+            succs.append((i + 1,))
+    live_in = [0] * (n + 1)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = 0
+            for s in succs[i]:
+                out |= live_in[s]
+            new = use[i] | (out & ~kill[i])
+            if new != live_in[i]:
+                live_in[i] = new
+                changed = True
+    live_out = [0] * n
+    for i in range(n):
+        out = 0
+        for s in succs[i]:
+            out |= live_in[s]
+        live_out[i] = out
+    return live_out
+
+
+def _jump_targets(code) -> set[int]:
+    targets: set[int] = set()
+    for ins in code:
+        op = ins[0]
+        if op == OP_JMP:
+            targets.add(ins[1])
+        elif op == OP_JZ or op == OP_JNZ:
+            targets.add(ins[2])
+        elif op == OP_BR:
+            targets.add(ins[4])
+    return targets
+
+
+def _fuse_once(code) -> dict[int, tuple]:
+    """One left-to-right scan; {first_index: fused_instruction}.
+
+    A pair is fused only when the second instruction is not a jump
+    target (control may not enter the middle of a superinstruction) and
+    the dropped intermediate register is dead afterwards — or is
+    rewritten by the pair itself with the same value either way.
+    """
+    n = len(code)
+    targets = _jump_targets(code)
+    live_out = _liveness(code)
+    fused: dict[int, tuple] = {}
+    i = 0
+    while i < n - 1:
+        if i + 1 in targets:
+            i += 1
+            continue
+        a = code[i]
+        b = code[i + 1]
+        opa = a[0]
+        opb = b[0]
+        out = live_out[i + 1]
+        new = None
+        if opa == OP_ELEM or opa == OP_ADD_P:
+            # F1/F2: address compute + load/store at offset 0. The store
+            # value operand must not be the address temp (the fused form
+            # reads it before the address exists).
+            t = a[1]
+            if opb == OP_LOAD_I and b[2] == t and b[3] == 0 \
+                    and (b[1] == t or not (out >> t) & 1):
+                new = (OP_LDELEM_I, b[1], a[2], a[3], a[4],
+                       b[4], b[5], b[6], b[7])
+            elif opb == OP_LOAD_F and b[2] == t and b[3] == 0 \
+                    and (b[1] == t or not (out >> t) & 1):
+                new = (OP_LDELEM_F, b[1], a[2], a[3], a[4],
+                       b[4], b[5], b[6])
+            elif opb == OP_STORE_I and b[1] == t and b[2] == 0 \
+                    and b[3] != t and (b[4] == t or not (out >> t) & 1):
+                new = (OP_STELEM_I, a[2], a[3], a[4], b[3], b[4],
+                       b[5], b[6], b[7], b[8], b[9])
+            elif opb == OP_STORE_F and b[1] == t and b[2] == 0 \
+                    and b[3] != t and (b[4] == t or not (out >> t) & 1):
+                new = (OP_STELEM_F, a[2], a[3], a[4], b[3], b[4],
+                       b[5], b[6], b[7])
+            elif opb == OP_STORE_P and b[1] == t and b[2] == 0 \
+                    and b[3] != t and (b[4] == t or not (out >> t) & 1):
+                new = (OP_STELEM_P, a[2], a[3], a[4], b[3], b[4], b[5])
+        elif opa in _CMP_OPS and (opb == OP_JZ or opb == OP_JNZ) \
+                and b[1] == a[1] and not (out >> a[1]) & 1:
+            # F3: compare + conditional jump. The branch keeps "jump
+            # when the flag is (non)zero" semantics rather than the
+            # complemented comparison, so NaN operands behave exactly
+            # as in the unfused pair.
+            new = (OP_BR, opa, a[2], a[3], b[2], opb == OP_JNZ)
+        elif opa == OP_STEP and opb == OP_STEP:
+            # F4: nothing can observe the counter between two adjacent
+            # steps except an over-budget abort, whose counter value is
+            # already engine-defined (see the module docstring).
+            new = (OP_STEP, a[1] + b[1])
+        elif opa == OP_CONST and type(a[2]) is int:
+            # F6: constant index folds into a static member offset.
+            t = a[1]
+            if (opb == OP_ELEM or opb == OP_ADD_P) and b[3] == t \
+                    and b[2] != t and (b[1] == t or not (out >> t) & 1):
+                new = (OP_MEMBOFF, b[1], b[2], a[2] * b[4])
+            elif opb == OP_SUB_PI and b[3] == t and b[2] != t \
+                    and (b[1] == t or not (out >> t) & 1):
+                new = (OP_MEMBOFF, b[1], b[2], -(a[2] * b[4]))
+        elif opa == OP_MEMBOFF:
+            # F7: member-offset chains fold into the next offset field
+            # (address masks compose: ((x+o1)&M + o2)&M == (x+o1+o2)&M).
+            t = a[1]
+            off = a[3]
+            if opb == OP_MEMBOFF and b[2] == t \
+                    and (b[1] == t or not (out >> t) & 1):
+                new = (OP_MEMBOFF, b[1], a[2], off + b[3])
+            elif opb == OP_LOAD_I and b[2] == t \
+                    and (b[1] == t or not (out >> t) & 1):
+                new = (OP_LOAD_I, b[1], a[2], off + b[3],
+                       b[4], b[5], b[6], b[7])
+            elif opb == OP_LOAD_F and b[2] == t \
+                    and (b[1] == t or not (out >> t) & 1):
+                new = (OP_LOAD_F, b[1], a[2], off + b[3], b[4], b[5], b[6])
+            elif opb == OP_STORE_I and b[1] == t and b[3] != t \
+                    and (b[4] == t or not (out >> t) & 1):
+                new = (OP_STORE_I, a[2], off + b[2], b[3], b[4],
+                       b[5], b[6], b[7], b[8], b[9])
+            elif opb == OP_STORE_F and b[1] == t and b[3] != t \
+                    and (b[4] == t or not (out >> t) & 1):
+                new = (OP_STORE_F, a[2], off + b[2], b[3], b[4],
+                       b[5], b[6], b[7])
+            elif opb == OP_STORE_P and b[1] == t and b[3] != t \
+                    and (b[4] == t or not (out >> t) & 1):
+                new = (OP_STORE_P, a[2], off + b[2], b[3], b[4], b[5])
+        if new is not None:
+            fused[i] = new
+            i += 2
+        else:
+            i += 1
+    return fused
+
+
+def _rebuild(code, fused) -> tuple[list[tuple], list[int]]:
+    """Apply one round of fusions; return (new_code, pos) where pos[p] is
+    the new index of the first retained instruction with old index >= p
+    (monotone — the remap rule for jump targets and region bounds)."""
+    n = len(code)
+    new_code: list[tuple] = []
+    pos = [0] * (n + 1)
+    i = 0
+    while i < n:
+        pos[i] = len(new_code)
+        ins = fused.get(i)
+        if ins is not None:
+            new_code.append(ins)
+            pos[i + 1] = len(new_code)
+            i += 2
+        else:
+            new_code.append(code[i])
+            i += 1
+    pos[n] = len(new_code)
+    for j, ins in enumerate(new_code):
+        op = ins[0]
+        if op == OP_JMP:
+            new_code[j] = (op, pos[ins[1]])
+        elif op == OP_JZ or op == OP_JNZ:
+            new_code[j] = (op, ins[1], pos[ins[2]])
+        elif op == OP_BR:
+            new_code[j] = (op, ins[1], ins[2], ins[3], pos[ins[4]], ins[5])
+    return new_code, pos
+
+
+def _sink_steps(code: list) -> None:
+    """Accumulate STEP counts backwards across pure instructions.
+
+    Between two STEPs separated only by :data:`_PURE_OPS` nothing can
+    observe the counter, emit trace records, or raise, so charging the
+    later count at the earlier STEP is observably exact — including at
+    an over-budget abort, where the counter lands on the same value and
+    the skipped pure tail had no visible effects. A jump target between
+    the two (or on the later STEP itself) breaks the chain: a path
+    entering there must still pay its own steps. Drained STEPs stay in
+    place with a count of zero (no pc remap needed); the specializer
+    emits nothing for them.
+    """
+    targets = _jump_targets(code)
+    consts: dict[int, object] = {}
+    last = -1
+    for i, ins in enumerate(code):
+        op = ins[0]
+        if i in targets:
+            last = -1
+            consts.clear()
+        if op == OP_STEP:
+            if last >= 0 and i not in targets:
+                code[last] = (OP_STEP, code[last][1] + ins[1])
+                code[i] = (OP_STEP, 0)
+            else:
+                last = i
+            continue
+        if op not in _PURE_OPS:
+            # A division whose divisor slot provably holds a nonzero
+            # integer constant cannot raise either.
+            if not ((op == OP_DIV_I or op == OP_MOD_I)
+                    and type(consts.get(ins[3])) is int and consts[ins[3]]):
+                last = -1
+        if op == OP_CONST:
+            consts[ins[1]] = ins[2]
+        else:
+            written = _WRITES.get(op)
+            if written is not None:
+                consts.pop(ins[written], None)
+
+
+def fuse_function(fn: BytecodeFunction) -> BytecodeFunction:
+    """Fuse one function's code to fixpoint (chains like CONST→ELEM→LOAD
+    collapse over successive rounds). Body regions are remapped with the
+    same monotone rule as jump targets; call-site pcs — the only pcs the
+    regions are ever tested against — keep their region membership
+    because calls never fuse."""
+    code = list(fn.code)
+    regions = list(fn.body_regions)
+    while True:
+        fused = _fuse_once(code)
+        if not fused:
+            break
+        code, pos = _rebuild(code, fused)
+        regions = [(pos[s], pos[e], bid) for s, e, bid in regions]
+    _sink_steps(code)
+    return BytecodeFunction(
+        name=fn.name,
+        code=tuple(code),
+        n_slots=fn.n_slots,
+        params=fn.params,
+        returns_void=fn.returns_void,
+        body_regions=tuple(regions),
+    )
+
+
+def fuse_program(bp: BytecodeProgram) -> BytecodeProgram:
+    """The fused twin of a lowered program (cached on the original).
+
+    ``globals_init`` stays unfused: it runs once through the classic
+    dispatch loop, which by design never executes superinstructions.
+    """
+    cached = getattr(bp, "_fused", None)
+    if cached is None:
+        cached = BytecodeProgram(
+            program=bp.program,
+            functions={name: fuse_function(fn)
+                       for name, fn in bp.functions.items()},
+            global_symbols=bp.global_symbols,
+            globals_init=bp.globals_init,
+        )
+        bp._fused = cached
+    return cached
+
+
+def fusion_stats(bp: BytecodeProgram) -> dict:
+    """Static fusion coverage of a program (reported by the benchmarks).
+
+    ``memory_fused_share`` is the fraction of memory-access instructions
+    that ended up in superinstruction form.
+    """
+    fused = fuse_program(bp)
+    mem_total = mem_fused = br_total = br_fused = 0
+    for fn in fused.functions.values():
+        for ins in fn.code:
+            op = ins[0]
+            if op in _FUSED_MEM_OPS:
+                mem_fused += 1
+                mem_total += 1
+            elif op in _MEM_OPS:
+                mem_total += 1
+            elif op == OP_BR:
+                br_fused += 1
+                br_total += 1
+            elif op == OP_JZ or op == OP_JNZ:
+                br_total += 1
+    before = sum(len(fn.code) for fn in bp.functions.values())
+    after = sum(len(fn.code) for fn in fused.functions.values())
+    return {
+        "instructions_before": before,
+        "instructions_after": after,
+        "memory_ops": mem_total,
+        "memory_ops_fused": mem_fused,
+        "memory_fused_share": mem_fused / mem_total if mem_total else 0.0,
+        "branches": br_total,
+        "branches_fused": br_fused,
+    }

@@ -51,8 +51,10 @@ from repro.sim.trace import (
     DEFAULT_TRACE_BLOCK,
     LIB_PC_BASE,
     LOOP_BEGIN_CODE,
+    ColumnBlock,
     TraceSink,
     load_pc,
+    split_sinks,
     store_pc,
 )
 
@@ -109,6 +111,7 @@ class Interpreter:
     ):
         self.program = program
         self._sinks = tuple(sinks)
+        self._col_sinks, self._tup_sinks = split_sinks(self._sinks)
         self._max_steps = max_steps
         self._max_call_depth = max_call_depth
         self._block_size = max(1, trace_block_size)
@@ -209,7 +212,13 @@ class Interpreter:
             return
         accesses, checkpoints = self._acc_buf, self._cp_buf
         self._acc_buf, self._cp_buf = [], []
-        for sink in self._sinks:
+        if self._col_sinks:
+            # Wrapping the tuple buffers is free; columnar sinks see the
+            # same ColumnBlock interface as on the bytecode engine.
+            block = ColumnBlock.from_tuples(accesses, checkpoints)
+            for sink in self._col_sinks:
+                sink.emit_columns(block)
+        for sink in self._tup_sinks:
             sink.emit_block(accesses, checkpoints)
 
     def _bump_steps(self, amount: int = 1) -> None:

@@ -50,6 +50,9 @@ class EngineConfig:
     max_steps: int = 200_000_000
     max_call_depth: int = 512
     trace_block_size: int = DEFAULT_TRACE_BLOCK
+    #: Superinstruction fusion on the bytecode engine (the AST engine
+    #: ignores this; disable to time or debug the plain dispatch loop).
+    fusion: bool = True
     #: Input ensemble consumed by the ``read_samples`` builtin.
     input: InputSpec = InputSpec()
 
@@ -146,6 +149,7 @@ def run_compiled(
             max_call_depth=config.max_call_depth,
             trace_block_size=config.trace_block_size,
             input_spec=config.input,
+            fusion=config.fusion,
         )
     exit_code = machine.run(entry)
     return RunResult(exit_code, machine.stdout, machine.stats, machine)

@@ -40,6 +40,25 @@ preserving the exact interleaving of the two streams;
 :func:`expand_block` recovers the classic record sequence when needed.
 The per-record :meth:`TraceSink.emit` entry point remains for replaying
 stored text traces (:func:`parse_trace`).
+
+Columnar protocol
+-----------------
+
+On top of the tuple blocks sits the *columnar* fast path: engines build
+one :class:`ColumnBlock` per flush — a struct of parallel ``int64``
+columns (pc, addr, size, is_write) plus the checkpoint tuples — and hand
+it to any sink exposing ``emit_columns(block)``. Sinks without that
+method keep receiving the legacy ``emit_block`` tuples, decoded once per
+flush from the same block (:meth:`ColumnBlock.to_tuples`), so existing
+third-party sinks work unchanged. :func:`split_sinks` is the capability
+probe the engines use.
+
+The bytecode VM fills blocks as a single flat interleaved buffer
+``[pc0, addr0, size0, w0, pc1, ...]`` (``is_write`` encoded 0/1) — one
+C-level ``list.extend`` per access — which a block reshapes into columns
+without per-access Python work; the tree-walking oracle keeps its tuple
+buffers and wraps them via :meth:`ColumnBlock.from_tuples`, making the
+legacy decode free on that engine.
 """
 
 from __future__ import annotations
@@ -48,6 +67,14 @@ import enum
 import io
 from dataclasses import dataclass, field
 from typing import IO, Iterable, Iterator, Protocol, Union
+
+try:
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+    HAVE_NUMPY = False
 
 #: Base pc for user-code memory access sites.
 USER_PC_BASE = 0x400000
@@ -202,12 +229,127 @@ AccessTuple = tuple[int, int, int, bool]
 CheckpointTuple = tuple[int, int, int]
 
 
+class ColumnBlock:
+    """One flushed trace block as parallel columns (struct-of-arrays).
+
+    Access data lives in four parallel ``int64`` columns (``pc``,
+    ``addr``, ``size``, ``is_write`` — the latter 0/1); checkpoints stay
+    the small ``(pos, checkpoint_id, kind_code)`` tuple list of the
+    legacy protocol (``pos`` indexes into the columns exactly as it
+    indexed the tuple list). Column arrays, plain-list views and the
+    legacy tuple decode are all built lazily and memoized, so a flush
+    serving several sinks pays each conversion at most once.
+    """
+
+    __slots__ = ("n", "checkpoints", "_flat", "_tuples", "_arr", "_lists")
+
+    def __init__(self, flat, checkpoints, tuples=None):
+        self._flat = flat
+        self._tuples = tuples
+        self.checkpoints: list[CheckpointTuple] = checkpoints
+        #: Number of accesses in the block.
+        self.n = (len(flat) >> 2) if flat is not None else len(tuples)
+        self._arr = None
+        self._lists = None
+
+    @classmethod
+    def from_flat(cls, flat: list[int],
+                  checkpoints: list[CheckpointTuple]) -> "ColumnBlock":
+        """Snapshot an engine's flat interleaved buffer (copies both, so
+        the engine may clear its buffers in place afterwards)."""
+        return cls(list(flat), list(checkpoints))
+
+    @classmethod
+    def from_tuples(cls, accesses: list[AccessTuple],
+                    checkpoints: list[CheckpointTuple]) -> "ColumnBlock":
+        """Wrap legacy tuple buffers (takes ownership; no copy)."""
+        return cls(None, checkpoints, accesses)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- columnar views ---------------------------------------------------
+
+    def _array(self):
+        """The (n, 4) int64 matrix backing the column properties."""
+        arr = self._arr
+        if arr is None:
+            if not HAVE_NUMPY:
+                raise RuntimeError(
+                    "ColumnBlock column arrays require numpy; use "
+                    ".lists() or .to_tuples() instead"
+                )
+            if self._flat is not None:
+                arr = _np.array(self._flat, dtype=_np.int64).reshape(-1, 4)
+            elif self._tuples:
+                arr = _np.array(self._tuples, dtype=_np.int64)
+            else:
+                arr = _np.empty((0, 4), dtype=_np.int64)
+            self._arr = arr
+        return arr
+
+    @property
+    def pc(self):
+        return self._array()[:, 0]
+
+    @property
+    def addr(self):
+        return self._array()[:, 1]
+
+    @property
+    def size(self):
+        return self._array()[:, 2]
+
+    @property
+    def is_write(self):
+        return self._array()[:, 3]
+
+    def lists(self) -> tuple[list, list, list, list]:
+        """``(pcs, addrs, sizes, writes)`` as plain Python lists.
+
+        Values are native ints (``writes`` may be legacy bools when the
+        block came from a tuple engine) — safe to stash in long-lived
+        sets/dicts without pinning numpy scalars.
+        """
+        lists = self._lists
+        if lists is None:
+            flat = self._flat
+            if flat is not None:
+                lists = (flat[0::4], flat[1::4], flat[2::4], flat[3::4])
+            elif self._tuples:
+                pcs, addrs, sizes, writes = zip(*self._tuples)
+                lists = (list(pcs), list(addrs), list(sizes), list(writes))
+            else:
+                lists = ([], [], [], [])
+            self._lists = lists
+        return lists
+
+    # -- legacy decode ----------------------------------------------------
+
+    def to_tuples(self) -> tuple[list[AccessTuple], list[CheckpointTuple]]:
+        """Decode to the legacy ``(accesses, checkpoints)`` block form.
+
+        ``is_write`` is decoded to real bools so legacy sinks observe
+        records identical to the tuple engines'. Memoized; blocks built
+        by :meth:`from_tuples` return their original buffers unchanged.
+        """
+        tuples = self._tuples
+        if tuples is None:
+            pcs, addrs, sizes, writes = self.lists()
+            tuples = list(zip(pcs, addrs, sizes, map(bool, writes)))
+            self._tuples = tuples
+        return tuples, self.checkpoints
+
+
 class TraceSink(Protocol):
     """Anything that can consume trace records as they are produced.
 
-    Engines talk to sinks exclusively through :meth:`emit_block`; the
-    per-record :meth:`emit` entry point exists for replaying stored traces
-    and for tests.
+    Engines talk to sinks through :meth:`emit_block` — or, when a sink
+    exposes the optional columnar fast path ``emit_columns(block)``,
+    through that instead (see :func:`split_sinks`); the per-record
+    :meth:`emit` entry point exists for replaying stored traces and for
+    tests. A sink needs only one of the two block entry points: engines
+    decode blocks to legacy tuples for sinks without ``emit_columns``.
     """
 
     def emit(self, record: TraceRecord) -> None: ...
@@ -217,6 +359,23 @@ class TraceSink(Protocol):
         accesses: list[AccessTuple],
         checkpoints: list[CheckpointTuple],
     ) -> None: ...
+
+
+def split_sinks(
+    sinks: Iterable[TraceSink],
+) -> tuple[tuple[TraceSink, ...], tuple[TraceSink, ...]]:
+    """Partition sinks into ``(columnar, legacy)`` by capability.
+
+    A sink taking the columnar fast path exposes a callable
+    ``emit_columns``; everything else stays on the tuple protocol.
+    """
+    columnar, legacy = [], []
+    for sink in sinks:
+        if callable(getattr(sink, "emit_columns", None)):
+            columnar.append(sink)
+        else:
+            legacy.append(sink)
+    return tuple(columnar), tuple(legacy)
 
 
 def expand_block(
@@ -249,6 +408,9 @@ class TraceCollector:
 
     def emit_block(self, accesses, checkpoints) -> None:
         self.records.extend(expand_block(accesses, checkpoints))
+
+    def emit_columns(self, block: ColumnBlock) -> None:
+        self.records.extend(expand_block(*block.to_tuples()))
 
     def __len__(self) -> int:
         return len(self.records)
@@ -290,6 +452,9 @@ class TraceWriter:
         while ci < ncp:
             write(f"Checkpoint: {checkpoints[ci][1]}\n")
             ci += 1
+
+    def emit_columns(self, block: ColumnBlock) -> None:
+        self.emit_block(*block.to_tuples())
 
 
 def format_trace(records: Iterable[TraceRecord]) -> str:

@@ -22,7 +22,7 @@ from repro.foray.emitter import emit_model
 from repro.foray.filters import FilterConfig
 from repro.sim.machine import EngineConfig, compile_program, run_compiled
 from repro.sim.trace import TraceCollector, format_trace
-from repro.workloads.registry import ALL_WORKLOADS
+from repro.workloads.registry import ALL_WORKLOADS, MIBENCH_WORKLOADS
 
 RELAXED = FilterConfig(nexec=1, nloc=1)
 
@@ -108,6 +108,62 @@ def test_generated_nest_parity(stride, offset, trips, use_pointer):
     assert bc_result.exit_code == ast_result.exit_code
     assert bc_trace.records == ast_trace.records
     assert bc_model == ast_model
+
+
+class _LegacyOnlyCollector:
+    """A TraceCollector stripped of ``emit_columns``: forces the engine's
+    tuple-decode path so the columnar protocol can be diffed against it."""
+
+    def __init__(self) -> None:
+        self._inner = TraceCollector()
+
+    @property
+    def records(self):
+        return self._inner.records
+
+    def emit(self, record) -> None:
+        self._inner.emit(record)
+
+    def emit_block(self, accesses, checkpoints) -> None:
+        self._inner.emit_block(accesses, checkpoints)
+
+
+@pytest.mark.parametrize("engine", ("ast", "bytecode"))
+@pytest.mark.parametrize("name", sorted(MIBENCH_WORKLOADS))
+def test_columnar_decode_parity(name, engine):
+    """``emit_columns`` blocks, decoded, must equal the legacy tuple stream
+    bit-for-bit — checked by feeding one run to both sink flavours."""
+    workload = MIBENCH_WORKLOADS[name]
+    compiled = compile_program(workload.source)
+    columnar = TraceCollector()
+    legacy = _LegacyOnlyCollector()
+    result = run_compiled(compiled, sinks=(columnar, legacy),
+                          config=EngineConfig(engine=engine))
+    assert result.exit_code == 0
+    assert len(columnar.records) == len(legacy.records)
+    assert columnar.records == legacy.records
+
+
+@pytest.mark.parametrize("name", sorted(MIBENCH_WORKLOADS))
+def test_fused_unfused_identity(name):
+    """Superinstruction fusion must not change anything observable: trace,
+    stats, stdout and exit code are identical with fusion on and off."""
+    workload = MIBENCH_WORKLOADS[name]
+    runs = {}
+    for fusion in (True, False):
+        compiled = compile_program(workload.source)
+        collector = TraceCollector()
+        result = run_compiled(
+            compiled, sinks=(collector,),
+            config=EngineConfig(engine="bytecode", fusion=fusion),
+        )
+        runs[fusion] = (result, collector)
+    fused_result, fused_trace = runs[True]
+    plain_result, plain_trace = runs[False]
+    assert fused_result.exit_code == plain_result.exit_code
+    assert fused_result.stdout == plain_result.stdout
+    assert fused_result.stats == plain_result.stats
+    assert fused_trace.records == plain_trace.records
 
 
 @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
