@@ -193,6 +193,37 @@ def validate_payload(
     }
 
 
+def static_row(report) -> dict:
+    """One (workload, scenario) cell of the static-analysis matrix
+    (a :class:`repro.pipeline.StaticReport`)."""
+    oracle = report.oracle
+    static = report.static
+    return {
+        "benchmark": report.name,
+        "scenario": report.scenario,
+        "dynamic_refs": oracle.dynamic_total,
+        "matched_refs": oracle.matched,
+        "coverage": oracle.coverage,
+        "analyzable_refs": oracle.analyzable_total,
+        "foray_gap": len(oracle.foray_gap),
+        "refused": static.refused_count,
+        "refusals": dict(static.refusal_histogram),
+        "model_complete": static.model_complete,
+        "stats_exact": static.stats_exact,
+        "fast_path_ok": static.fast_path_ok,
+        "ok": oracle.ok,
+        "diff": oracle.diff_lines(),
+    }
+
+
+def static_payload(reports) -> dict:
+    return {
+        "command": "static",
+        "workloads": [static_row(report) for report in reports],
+        "ok": all(report.ok for report in reports),
+    }
+
+
 def hier_payload(results: list[HierarchyReport]) -> dict:
     return {
         "command": "hier",

@@ -11,8 +11,27 @@ Commands
     Run the mini-MiBench evaluation and print Tables I–III plus the
     headline metric.
 
+``static [NAMES...]``
+    Compile-time FORAY analysis over the (workload × scenario) matrix:
+    build the static affine-reuse model from the AST alone, extract the
+    dynamic model, and diff the two through the differential oracle
+    (exact agreement on every matched reference, no silent gaps, no
+    phantoms, DP-allocation parity). Prints the Table II-style coverage
+    table (``--json`` for the machine-readable payload) and exits
+    non-zero with a readable diff report on any disagreement.
+
 ``figures``
     Reproduce all paper figure examples.
+
+``suite/spm --static-fast-path``
+    Skip simulation for programs whose static model is provably complete
+    and stats-exact; everything else falls back to the engine.
+
+``... --verify-ir``
+    Structurally verify the lowered and fused bytecode of every program
+    before running it (register defined-before-use, jump targets,
+    superinstruction decode, checkpoint ids). The test suite enables
+    this unconditionally via ``REPRO_VERIFY_IR=1``.
 
 ``spm FILE``
     Run the full Phase I+II flow on a source file and print the
@@ -78,6 +97,7 @@ from repro.analysis.report import (
     format_hier_table,
     format_spm_frontier,
     format_stability_table,
+    format_static_table,
     format_table1,
     format_table2,
     format_table3,
@@ -104,6 +124,7 @@ from repro.pipeline import (
     normalize_ladder,
     persist_store_counters,
     run_suite,
+    static_suite,
     store_for,
     validate_suite,
 )
@@ -137,6 +158,9 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="accesses per columnar trace block "
                              "(default: engine default)")
+    parser.add_argument("--verify-ir", action="store_true",
+                        help="structurally verify the lowered and fused "
+                             "bytecode before every run")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the compiled/extraction artifact cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -341,6 +365,8 @@ def _config_from(args) -> PipelineConfig:
         validation=_validation_config_from(
             args, getattr(args, "validate", False)),
         hierarchy=_hier_config_from(args, getattr(args, "hier", False)),
+        static_fast_path=getattr(args, "static_fast_path", False),
+        verify_ir=getattr(args, "verify_ir", False),
     )
 
 
@@ -500,6 +526,30 @@ def cmd_hier(args) -> int:
     return 0
 
 
+def cmd_static(args) -> int:
+    names = tuple(args.names) or None
+    config = _config_from(args)
+    store = store_for(config)
+    before = store.aggregate_counters() if store else None
+    try:
+        reports = static_suite(names, jobs=args.jobs, config=config)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"static: {message}") from None
+    if args.json:
+        print(json.dumps(jsonout.static_payload(reports), indent=2))
+    else:
+        print(format_static_table(reports))
+    failures = [line for report in reports
+                for line in report.oracle.diff_lines()]
+    if failures:
+        print("static-vs-dynamic disagreement:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+    _report_cache_counters(config, before)
+    return 1 if failures else 0
+
+
 def cmd_figures(args) -> int:
     relaxed = FilterConfig(nexec=1, nloc=1)
     for name, workload in FIGURE_WORKLOADS.items():
@@ -582,6 +632,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--hier", action="store_true",
                          help="append the memory-hierarchy comparison "
                               "(pure cache vs SPM+cache)")
+    p_suite.add_argument("--static-fast-path", action="store_true",
+                         help="skip simulation for programs the static "
+                              "analyzer models completely and exactly")
     _add_filter_args(p_suite)
     _add_engine_args(p_suite)
     _add_spm_args(p_suite)
@@ -589,6 +642,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hier_args(p_suite, sweep_flag="--hier-sweep")
     _add_json_arg(p_suite)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_static = sub.add_parser(
+        "static", help="compile-time FORAY model + differential oracle")
+    p_static.add_argument("names", nargs="*",
+                          help="workload subset (default: the full suite)")
+    p_static.add_argument("--jobs", type=int, default=None,
+                          help="worker processes for the (workload x "
+                               "scenario) matrix (0 = CPU count; "
+                               "default: serial)")
+    _add_filter_args(p_static)
+    _add_engine_args(p_static)
+    _add_json_arg(p_static)
+    p_static.set_defaults(func=cmd_static)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
     p_figures.set_defaults(func=cmd_figures)
@@ -633,6 +699,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_spm = sub.add_parser("spm", help="Phases I+II on a MiniC file")
     p_spm.add_argument("file")
     p_spm.add_argument("--spm-bytes", type=int, default=4096)
+    p_spm.add_argument("--static-fast-path", action="store_true",
+                       help="skip simulation when the static analyzer "
+                            "models the program completely and exactly")
     p_spm.add_argument("--sweep", nargs="?", const="default",
                        metavar="BYTES,BYTES,...",
                        help="sweep a capacity ladder (default ladder when "

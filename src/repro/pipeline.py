@@ -2,8 +2,8 @@
 
 The flow is organised as a registry of named stages, executed in order::
 
-    compile → instrument → simulate → extract → analyze → validate →
-    optimize → hierarchy
+    compile → instrument → simulate → extract → analyze →
+    analyze-static → validate → optimize → hierarchy
 
 * **compile** — parse + semantic analysis of the MiniC source;
 * **instrument** — checkpoint annotation (paper Algorithm 1, step 1);
@@ -12,6 +12,8 @@ The flow is organised as a registry of named stages, executed in order::
   constant-space online mode);
 * **extract** — finalize the loop tree and purge the model (steps 2–4);
 * **analyze** — static baseline plus the Table I–III metrics;
+* **analyze-static** — the compile-time FORAY model plus the
+  static-vs-dynamic differential oracle (off by default);
 * **validate** — replay the workload's other input scenarios against the
   extracted model (cross-input stability; off by default);
 * **optimize** — Phase II SPM reuse analysis / buffer allocation;
@@ -95,7 +97,11 @@ from repro.spm.explore import (
 )
 from repro.spm.graph import ReuseGraph
 from repro.spm.transform import transform_model
+from repro.sim.interpreter import RunStats
+from repro.staticfar.analyze import analyze_static
 from repro.staticfar.detector import StaticAnalysisResult, detect
+from repro.staticfar.model import StaticForayModel
+from repro.staticfar.oracle import OracleReport, compare_models
 from repro.store import ArtifactStore
 
 DEFAULT_MAX_STEPS = 200_000_000
@@ -191,12 +197,20 @@ class PipelineConfig:
     input: InputSpec | None = None
     validation: ValidationConfig = ValidationConfig()
     hierarchy: HierarchyConfig = HierarchyConfig()
+    #: Run the ``analyze-static`` stage (compile-time model + oracle).
+    static_analysis: bool = False
+    #: Skip simulation when the static model proves itself complete and
+    #: stats-exact; programs it cannot fully model fall back to the engine.
+    static_fast_path: bool = False
+    #: Structurally verify the lowered/fused bytecode before every run.
+    verify_ir: bool = False
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(engine=self.engine, max_steps=self.max_steps,
                             fusion=self.fusion,
                             trace_block_size=self.trace_block,
-                            input=self.input or InputSpec())
+                            input=self.input or InputSpec(),
+                            verify_ir=self.verify_ir)
 
 
 def _merge_config(
@@ -371,6 +385,10 @@ def _extraction_key(source: str, config: PipelineConfig) -> str:
         config.max_steps,
         config.filter_config or FilterConfig(),
         config.input or InputSpec(),
+        # The static fast path produces a provably identical artifact,
+        # but keeping the namespaces apart means a fast-path defect can
+        # never serve a stale model to a simulation-backed run.
+        config.static_fast_path,
     )
 
 
@@ -445,6 +463,22 @@ def cached_exploration(
 # ---------------------------------------------------------------------------
 
 
+class StaticExtractor:
+    """Duck-typed stand-in for :class:`ForayExtractor` on the static
+    fast path: the downstream stages only call ``finish()`` and
+    ``executed_loops()``, and both answers were computed at compile
+    time."""
+
+    def __init__(self, static: StaticForayModel):
+        self.static = static
+
+    def executed_loops(self) -> dict[int, str]:
+        return dict(self.static.executed_loops)
+
+    def finish(self) -> ForayModel:
+        return self.static.foray_model()
+
+
 @dataclass
 class PipelineContext:
     """Mutable state threaded through the stages of one pipeline run."""
@@ -458,10 +492,12 @@ class PipelineContext:
 
     # Artifacts, filled in by the stages.
     compiled: CompiledProgram | None = None
-    extractor: ForayExtractor | None = None
+    extractor: "ForayExtractor | StaticExtractor | None" = None
     run_result: RunResult | None = None
     extraction: "ExtractionResult | None" = None
     report: "WorkloadReport | None" = None
+    static_model: StaticForayModel | None = None
+    oracle: OracleReport | None = None
     validation: WorkloadValidation | None = None
     flow: "FullFlowResult | None" = None
     hierarchy: tuple[HierarchyReport, ...] | None = None
@@ -545,6 +581,17 @@ def _stage_simulate(ctx: PipelineContext) -> None:
             ctx.compiled = cached.compiled
             return
     assert ctx.compiled is not None
+    if config.static_fast_path:
+        static = analyze_static(ctx.compiled.program, config.filter_config,
+                                name=ctx.name, entry=config.entry)
+        ctx.static_model = static
+        if static.fast_path_ok:
+            # The compile-time model is provably complete and stats-exact:
+            # hand the downstream stages a zero-step "run" whose artifacts
+            # are byte-identical to a simulation's.
+            ctx.extractor = StaticExtractor(static)
+            ctx.run_result = RunResult(0, "", RunStats(), None)
+            return
     ctx.extractor = ForayExtractor(ctx.compiled.checkpoint_map,
                                    config.filter_config)
     ctx.run_result = run_compiled(
@@ -581,6 +628,31 @@ def _stage_analyze(ctx: PipelineContext) -> None:
     table3 = table3_behavior(ctx.name, extraction.model)
     ctx.report = WorkloadReport(ctx.name, extraction, static_result, census,
                                 table2, table3)
+
+
+@register_stage("analyze-static",
+                "compile-time FORAY model + differential oracle")
+def _stage_analyze_static(ctx: PipelineContext) -> None:
+    """Compute the static FORAY model and diff it against the dynamic one.
+
+    No-ops unless ``config.static_analysis`` (or the fast path already
+    produced a static model in the simulate stage). The oracle compares
+    the two models reference-by-reference and checks DP-allocation parity
+    over the matched set; disagreement is reported, not raised — callers
+    (the ``repro static`` command, the tests) decide how loud to be.
+    """
+    config = ctx.config
+    if not (config.static_analysis or ctx.static_model is not None):
+        return
+    assert ctx.report is not None
+    if ctx.static_model is None:
+        ctx.static_model = analyze_static(
+            ctx.report.extraction.compiled.program, config.filter_config,
+            detector_result=ctx.report.static_result, name=ctx.name,
+            entry=config.entry)
+    ctx.oracle = compare_models(ctx.report.model, ctx.static_model,
+                                detector=ctx.report.static_result,
+                                name=ctx.name)
 
 
 @register_stage("validate", "cross-input scenario-matrix validation")
@@ -782,6 +854,87 @@ def run_suite(
     selected = [get_workload(name) for name in (names or workload_names())]
     tasks = [(w.name, w.source, merged) for w in selected]
     return _fan_out(tasks, _suite_worker, jobs)
+
+
+# ---------------------------------------------------------------------------
+# Static analysis: the (workload x scenario) differential-oracle matrix
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StaticReport:
+    """Static coverage plus the oracle outcome for one (workload, scenario)."""
+
+    name: str
+    scenario: str
+    static: StaticForayModel
+    oracle: OracleReport
+
+    @property
+    def ok(self) -> bool:
+        return self.oracle.ok
+
+
+def static_workload(
+    name: str,
+    source: str,
+    config: PipelineConfig | None = None,
+    scenario: str = "",
+) -> StaticReport:
+    """Static model + differential oracle for one program and input."""
+    merged = replace(config or PipelineConfig(), static_analysis=True)
+    ctx = run_stages(PipelineContext(source, merged, name=name),
+                     upto="analyze-static")
+    assert ctx.static_model is not None and ctx.oracle is not None
+    ctx.oracle.scenario = scenario
+    return StaticReport(name, scenario, ctx.static_model, ctx.oracle)
+
+
+def _static_cell_worker(
+    args: tuple[str, str | None, PipelineConfig]
+) -> StaticReport:
+    """One (workload x scenario) oracle cell, fan-out ready. ``None``
+    stands for the nominal source of a workload with no scenario matrix."""
+    name, scenario_name, config = args
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    if scenario_name is None:
+        source, cell_config, label = workload.source, config, "-"
+    else:
+        scenario = workload.scenario(scenario_name)
+        source = workload.source_for(scenario)
+        cell_config = _scenario_config(config, scenario)
+        label = scenario.name
+    report = static_workload(name, source, config=cell_config,
+                             scenario=label)
+    persist_store_counters(config)  # see _suite_worker
+    return report
+
+
+def static_suite(
+    names: tuple[str, ...] | None = None,
+    jobs: int | None = None,
+    config: PipelineConfig | None = None,
+) -> list[StaticReport]:
+    """The full static matrix: every (workload x scenario) cell runs the
+    compile-time analyzer against the dynamic extraction and diffs the
+    two models. Cells fan out over the shared worker-process machinery;
+    results come back in matrix order (workloads in suite order, then
+    scenarios)."""
+    from repro.workloads.registry import get_workload, workload_names
+
+    config = config or PipelineConfig()
+    if jobs is None:
+        jobs = config.jobs
+    tasks: list[tuple[str, str | None, PipelineConfig]] = []
+    for workload in (get_workload(n) for n in (names or workload_names())):
+        if workload.scenarios:
+            tasks.extend((workload.name, scenario_name, config)
+                         for scenario_name in workload.scenario_names())
+        else:
+            tasks.append((workload.name, None, config))
+    return _fan_out(tasks, _static_cell_worker, jobs)
 
 
 @dataclass

@@ -23,6 +23,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.instrument.checkpoints import instrument
@@ -55,6 +56,9 @@ class EngineConfig:
     fusion: bool = True
     #: Input ensemble consumed by the ``read_samples`` builtin.
     input: InputSpec = InputSpec()
+    #: Run the structural IR verifier over the lowered and fused bytecode
+    #: before executing (also forced by the ``REPRO_VERIFY_IR`` env var).
+    verify_ir: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -72,6 +76,8 @@ class CompiledProgram:
     source: str
     #: Lazily populated bytecode lowering (see :func:`lower_compiled`).
     bytecode: object | None = field(default=None, repr=False, compare=False)
+    #: Set once the IR verifier has passed this program (idempotence memo).
+    ir_verified: bool = field(default=False, repr=False, compare=False)
 
     @property
     def is_instrumented(self) -> bool:
@@ -116,6 +122,22 @@ def lower_compiled(compiled: CompiledProgram):
     return compiled.bytecode
 
 
+def verify_ir(compiled: CompiledProgram) -> None:
+    """Run the structural IR verifier once per compiled program.
+
+    Raises :class:`repro.sim.verify.IRVerificationError` on findings; a
+    passing program is memoized on the object, so attaching the verifier
+    to every run (``REPRO_VERIFY_IR=1`` in the test suite) costs one
+    pass per program, not one per run.
+    """
+    if compiled.ir_verified:
+        return
+    from repro.sim.verify import verify_compiled
+
+    verify_compiled(compiled)
+    compiled.ir_verified = True
+
+
 def run_compiled(
     compiled: CompiledProgram,
     sinks: tuple[TraceSink, ...] = (),
@@ -130,6 +152,9 @@ def run_compiled(
     """
     if config is None:
         config = EngineConfig(max_steps=max_steps)
+    if config.verify_ir or os.environ.get("REPRO_VERIFY_IR", "") not in (
+            "", "0"):
+        verify_ir(compiled)
     if config.engine == "ast":
         machine = Interpreter(
             compiled.program,

@@ -1,0 +1,310 @@
+"""Structural IR verifier for lowered and fused bytecode.
+
+The specializer and the fixpoint fusion pass rewrite every hot function;
+until now their only safety net was end-to-end trace parity. This module
+checks the bytecode *structurally*, per function:
+
+* every opcode is known, and superinstructions appear only in fused code;
+* every register operand addresses a slot inside the frame
+  (``0 <= slot < n_slots``), derived from the same ``_READS``/``_WRITES``
+  tables the fusion pass trusts for liveness;
+* every jump lands on an instruction boundary of the same function;
+* registers are defined before use: the backward liveness fixpoint's
+  live-in set at instruction 0 may contain only parameter slots
+  (frames are zero-filled, so a violation is not UB — but it means the
+  lowering lost an initialization, which trace parity can miss);
+* fused superinstructions decode back to their constituent operations —
+  element size, access width, struct format and synthetic pc must all be
+  the values the unfused ``OP_ELEM + OP_LOAD/OP_STORE`` pair would carry,
+  and ``OP_BR`` must wrap a real comparison opcode;
+* trace-emitting instructions carry valid synthetic pcs (user range,
+  load/store parity) and valid checkpoint ids (present in the
+  instrumentation map with the matching kind code);
+* calls name real functions or known builtins;
+* instrumented body regions lie inside the code and name body-end
+  checkpoints.
+
+`verify_compiled` runs all of it over every function of the lowered
+program *and* its fused twin. Tests enable it unconditionally via the
+``REPRO_VERIFY_IR`` environment variable; the CLI exposes ``--verify-ir``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.stdlib import BUILTIN_SIGNATURES
+from repro.sim import bytecode as bc
+from repro.sim.trace import (
+    BODY_END_CODE,
+    KIND_TO_CODE,
+    LIB_PC_BASE,
+    USER_PC_BASE,
+    CheckpointMap,
+)
+
+#: Operand position of the synthetic pc per trace-emitting opcode.
+_PC_POS: dict[int, int] = {
+    bc.OP_LOAD_I: 7, bc.OP_LOAD_F: 6,
+    bc.OP_STORE_I: 9, bc.OP_STORE_F: 7, bc.OP_STORE_P: 5,
+    bc.OP_LDELEM_I: 8, bc.OP_LDELEM_F: 7,
+    bc.OP_STELEM_I: 10, bc.OP_STELEM_F: 8, bc.OP_STELEM_P: 6,
+}
+
+_LOAD_OPS = frozenset((bc.OP_LOAD_I, bc.OP_LOAD_F,
+                       bc.OP_LDELEM_I, bc.OP_LDELEM_F))
+_STORE_OPS = frozenset((bc.OP_STORE_I, bc.OP_STORE_F, bc.OP_STORE_P,
+                        bc.OP_STELEM_I, bc.OP_STELEM_F, bc.OP_STELEM_P))
+
+#: (elem_size operand, access-size operand or None) per fused memory op.
+_FUSED_SHAPE: dict[int, tuple[int, int | None]] = {
+    bc.OP_LDELEM_I: (4, 5), bc.OP_LDELEM_F: (4, 5),
+    bc.OP_STELEM_I: (3, 6), bc.OP_STELEM_F: (3, 6), bc.OP_STELEM_P: (3, None),
+}
+
+_ACCESS_SIZES = frozenset((1, 2, 4, 8))
+
+_FUSED_OPS = frozenset((bc.OP_LDELEM_I, bc.OP_LDELEM_F, bc.OP_STELEM_I,
+                        bc.OP_STELEM_F, bc.OP_STELEM_P, bc.OP_BR))
+
+_KNOWN_OPS = frozenset(range(62))
+
+
+class IRVerificationError(Exception):
+    """The bytecode of a compiled program failed structural verification."""
+
+    def __init__(self, findings: list[str]):
+        self.findings = findings
+        preview = "\n  ".join(findings[:20])
+        more = f"\n  ... and {len(findings) - 20} more" if len(findings) > 20 else ""
+        super().__init__(
+            f"IR verification failed with {len(findings)} finding(s):\n"
+            f"  {preview}{more}")
+
+
+@dataclass(frozen=True)
+class VerifyStats:
+    """What one :func:`verify_compiled` pass covered."""
+
+    functions: int
+    instructions: int
+    fused_functions: int
+    fused_instructions: int
+
+
+def _valid_pc(pc: object, is_store: bool, allow_untraced: bool) -> bool:
+    if not isinstance(pc, int):
+        return False
+    if pc == -1:
+        # The untraced sentinel: global initialization and parameter
+        # spills run with tracing off by design.
+        return allow_untraced
+    if not USER_PC_BASE <= pc < LIB_PC_BASE:
+        return False
+    return pc % 8 == (4 if is_store else 0)
+
+
+def verify_function(
+    fn: "bc.BytecodeFunction",
+    checkpoint_map: CheckpointMap,
+    function_names: frozenset[str],
+    fused: bool,
+    allow_untraced_pc: bool = False,
+) -> list[str]:
+    """Structural findings for one bytecode function (empty = clean)."""
+    findings: list[str] = []
+    code = fn.code
+    size = len(code)
+
+    def flag(index: int, message: str) -> None:
+        findings.append(f"{fn.name}[{index}]: {message}")
+
+    for index, ins in enumerate(code):
+        op = ins[0]
+        if op not in _KNOWN_OPS:
+            flag(index, f"unknown opcode {op!r}")
+            continue
+        if op in _FUSED_OPS and not fused:
+            flag(index, f"superinstruction {op} in unfused code")
+            continue
+
+        # Register operands: the same tables the liveness fixpoint uses.
+        if op == bc.OP_CALL or op == bc.OP_CALLB:
+            if len(ins) != 4 or not isinstance(ins[3], tuple):
+                flag(index, f"malformed call {ins!r}")
+                continue
+            slots = (ins[1], *ins[3])
+            if op == bc.OP_CALL and ins[2] not in function_names:
+                flag(index, f"call to unknown function {ins[2]!r}")
+            if op == bc.OP_CALLB and ins[2] not in BUILTIN_SIGNATURES:
+                flag(index, f"call to unknown builtin {ins[2]!r}")
+        else:
+            read_positions = bc._READS.get(op, ())
+            write_position = bc._WRITES.get(op)
+            positions = (*read_positions,
+                         *(() if write_position is None else (write_position,)))
+            if positions and max(positions) >= len(ins):
+                flag(index, f"operand arity too small for opcode {op}: {ins!r}")
+                continue
+            slots = tuple(ins[pos] for pos in positions)
+        for slot in slots:
+            if not isinstance(slot, int) or not 0 <= slot < fn.n_slots:
+                flag(index, f"register slot {slot!r} outside frame "
+                            f"of {fn.n_slots} slots")
+
+        # Jumps land on instruction boundaries.
+        target_pos = None
+        if op == bc.OP_JMP:
+            target_pos = 1
+        elif op == bc.OP_JZ or op == bc.OP_JNZ:
+            target_pos = 2
+        elif op == bc.OP_BR:
+            target_pos = 4
+        if target_pos is not None:
+            target = ins[target_pos]
+            if not isinstance(target, int) or not 0 <= target <= size:
+                flag(index, f"jump target {target!r} outside code "
+                            f"of {size} instructions")
+
+        # Trace-emitting memory ops carry decodable synthetic pcs.
+        pc_pos = _PC_POS.get(op)
+        if pc_pos is not None:
+            if pc_pos >= len(ins):
+                flag(index, f"missing pc operand: {ins!r}")
+            elif not _valid_pc(ins[pc_pos], op in _STORE_OPS,
+                               allow_untraced_pc):
+                flag(index, f"invalid synthetic pc {ins[pc_pos]!r}")
+
+        # Superinstructions decode back to their constituent ops.
+        if op in _FUSED_SHAPE:
+            elem_pos, size_pos = _FUSED_SHAPE[op]
+            if ins[elem_pos] < 1:
+                flag(index, f"fused element size {ins[elem_pos]!r} < 1")
+            if size_pos is not None and ins[size_pos] not in _ACCESS_SIZES:
+                flag(index, f"fused access size {ins[size_pos]!r}")
+        if op == bc.OP_BR:
+            if ins[1] not in bc._CMP_OPS:
+                flag(index, f"fused branch wraps non-comparison op {ins[1]!r}")
+            if ins[5] not in (0, 1):
+                flag(index, f"fused branch sense {ins[5]!r}")
+
+        # Checkpoints exist in the instrumentation map, kinds agree.
+        if op == bc.OP_CKPT:
+            checkpoint_id, kind_code = ins[1], ins[2]
+            info = checkpoint_map.infos.get(checkpoint_id)
+            if info is None:
+                flag(index, f"checkpoint id {checkpoint_id!r} not in map")
+            elif KIND_TO_CODE[info.kind] != kind_code:
+                flag(index, f"checkpoint {checkpoint_id} kind code "
+                            f"{kind_code} != {KIND_TO_CODE[info.kind]}")
+
+    # Defined-before-use: at entry only parameter slots may be live.
+    if not findings and size:
+        live_entry = _entry_liveness(code)
+        allowed = 0
+        for param in fn.params:
+            allowed |= 1 << param.slot
+        rogue = live_entry & ~allowed
+        if rogue:
+            bad = [i for i in range(fn.n_slots) if rogue >> i & 1]
+            findings.append(
+                f"{fn.name}: slots {bad} read before any definition")
+
+    # Instrumented body regions are in bounds and name body-end ids.
+    for start, end, body_end_id in fn.body_regions:
+        if not 0 <= start <= end <= size:
+            findings.append(
+                f"{fn.name}: body region ({start}, {end}) outside code")
+        info = checkpoint_map.infos.get(body_end_id)
+        if info is None or KIND_TO_CODE[info.kind] != BODY_END_CODE:
+            findings.append(
+                f"{fn.name}: body region id {body_end_id} is not a "
+                "body-end checkpoint")
+    return findings
+
+
+def _entry_liveness(code) -> int:
+    """Live-in register mask at instruction 0 (reuses the fusion tables)."""
+    n = len(code)
+    use = [0] * n
+    kill = [0] * n
+    succs: list[tuple[int, ...]] = []
+    for i, ins in enumerate(code):
+        op = ins[0]
+        if op == bc.OP_CALL or op == bc.OP_CALLB:
+            mask = 0
+            for slot in ins[3]:
+                mask |= 1 << slot
+            use[i] = mask
+            kill[i] = 1 << ins[1]
+        else:
+            mask = 0
+            for pos in bc._READS[op]:
+                mask |= 1 << ins[pos]
+            use[i] = mask
+            write = bc._WRITES.get(op)
+            if write is not None:
+                kill[i] = 1 << ins[write]
+        if op == bc.OP_JMP:
+            succs.append((ins[1],))
+        elif op == bc.OP_JZ or op == bc.OP_JNZ:
+            succs.append((i + 1, ins[2]))
+        elif op == bc.OP_BR:
+            succs.append((i + 1, ins[4]))
+        elif op == bc.OP_RET or op == bc.OP_RET0:
+            succs.append(())
+        else:
+            succs.append((i + 1,))
+    live_in = [0] * (n + 1)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = 0
+            for successor in succs[i]:
+                out |= live_in[successor]
+            new = use[i] | (out & ~kill[i])
+            if new != live_in[i]:
+                live_in[i] = new
+                changed = True
+    return live_in[0]
+
+
+def verify_bytecode(
+    bytecode_program: "bc.BytecodeProgram",
+    checkpoint_map: CheckpointMap,
+    fused: bool = False,
+) -> list[str]:
+    """Findings across all functions (and globals-init) of one program."""
+    names = frozenset(bytecode_program.functions)
+    findings = verify_function(bytecode_program.globals_init, checkpoint_map,
+                               names, fused, allow_untraced_pc=True)
+    for fn in bytecode_program.functions.values():
+        findings.extend(verify_function(fn, checkpoint_map, names, fused))
+    return findings
+
+
+def verify_compiled(compiled, raise_on_error: bool = True) -> VerifyStats:
+    """Verify the lowered program and its fused twin.
+
+    ``compiled`` is a :class:`repro.sim.machine.CompiledProgram`; lowering
+    and fusion results are cached on it, so verification shares work with
+    a subsequent run instead of repeating it.
+    """
+    from repro.sim.machine import lower_compiled
+
+    lowered = lower_compiled(compiled)
+    findings = verify_bytecode(lowered, compiled.checkpoint_map, fused=False)
+    fused = bc.fuse_program(lowered)
+    findings.extend(verify_bytecode(fused, compiled.checkpoint_map,
+                                    fused=True))
+    if findings and raise_on_error:
+        raise IRVerificationError(findings)
+    count = len(lowered.functions) + 1
+    instructions = lowered.instruction_count
+    return VerifyStats(
+        functions=count,
+        instructions=instructions,
+        fused_functions=len(fused.functions) + 1,
+        fused_instructions=fused.instruction_count,
+    )

@@ -1,5 +1,7 @@
-"""Static FORAY-form detection: the compile-time baseline of Table II."""
+"""Static FORAY analysis: form detection, the compile-time model engine,
+and the static-vs-dynamic differential oracle (Table II, model-level)."""
 
+from repro.staticfar.analyze import StaticAnalyzer, analyze_static
 from repro.staticfar.detector import (
     CanonicalLoopInfo,
     StaticAnalysisResult,
@@ -7,11 +9,31 @@ from repro.staticfar.detector import (
     affine_terms,
     detect,
 )
+from repro.staticfar.layout import global_layout
+from repro.staticfar.model import (
+    REFUSAL_REASONS,
+    StaticForayModel,
+    StaticRefusal,
+)
+from repro.staticfar.oracle import (
+    CONTEXTUAL_REASONS,
+    OracleReport,
+    compare_models,
+)
 
 __all__ = [
     "CanonicalLoopInfo",
+    "CONTEXTUAL_REASONS",
+    "OracleReport",
+    "REFUSAL_REASONS",
     "StaticAnalysisResult",
+    "StaticAnalyzer",
     "StaticForayDetector",
+    "StaticForayModel",
+    "StaticRefusal",
     "affine_terms",
+    "analyze_static",
+    "compare_models",
     "detect",
+    "global_layout",
 ]

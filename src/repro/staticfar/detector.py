@@ -153,6 +153,7 @@ class StaticForayDetector:
     def __init__(self, program: ast.Program):
         self.program = program
         self.result = StaticAnalysisResult()
+        self._may_exit = _may_exit_functions(program)
 
     # ------------------------------------------------------------------
 
@@ -176,7 +177,7 @@ class StaticForayDetector:
             return None
         if self._iterator_modified(stmt.body, iterator):
             return None
-        if self._contains_break(stmt.body):
+        if self._contains_escape(stmt.body):
             return None
         trip = self._trip_count(start, op, bound, step)
         if trip is None:
@@ -193,13 +194,16 @@ class StaticForayDetector:
             return max(0, -(-(start - limit) // -step)) if start > limit else 0
         return None
 
-    def _parse_init(self, init: ast.Stmt | None):
+    def _parse_init(
+        self, init: ast.Stmt | None
+    ) -> tuple[Symbol | None, int | None]:
         if isinstance(init, ast.DeclStmt) and len(init.decls) == 1:
             decl = init.decls[0]
             symbol = decl.symbol
             if (
                 isinstance(symbol, Symbol)
                 and symbol.ctype.is_integer
+                and not symbol.in_memory
                 and decl.init is not None
             ):
                 start = _const_value(decl.init)
@@ -210,13 +214,18 @@ class StaticForayDetector:
             assign = init.expr
             if assign.op == "" and isinstance(assign.target, ast.Identifier):
                 symbol = assign.target.symbol
-                if isinstance(symbol, Symbol) and symbol.ctype.is_integer:
+                if (isinstance(symbol, Symbol) and symbol.ctype.is_integer
+                        and not symbol.in_memory):
+                    # An address-taken (or global) iterator is itself a
+                    # memory reference per iteration — not FORAY form.
                     start = _const_value(assign.value)
                     if start is not None:
                         return symbol, start
         return None, None
 
-    def _parse_cond(self, cond: ast.Expr | None, iterator: Symbol):
+    def _parse_cond(
+        self, cond: ast.Expr | None, iterator: Symbol
+    ) -> tuple[str, int] | None:
         if not isinstance(cond, ast.Binary) or cond.op not in ("<", "<=", ">", ">="):
             return None
         if (
@@ -269,19 +278,39 @@ class StaticForayDetector:
                     return True
         return False
 
-    def _contains_break(self, body: ast.Stmt) -> bool:
-        """break directly inside this loop (nested loops scanned separately)."""
-        stack = [body]
+    def _contains_escape(self, body: ast.Stmt) -> bool:
+        """Can control leave this loop other than through its condition?
+
+        A direct ``break`` (nested loops scanned separately), a ``return``
+        at any depth, or a call that can reach ``exit()`` all cut the trip
+        count short of the closed form — such a loop must not be
+        classified canonical, or the static model would overstate it.
+        """
+        stack: list = [body]
         while stack:
             node = stack.pop()
             if isinstance(node, ast.Break):
                 return True
             if isinstance(node, ast.Loop):
-                continue  # a break in a nested loop exits that loop only
-            stack.extend(
-                child for child in ast.children(node) if isinstance(child, ast.Node)
-            )
+                # a break in a nested loop exits that loop only, but a
+                # return or exit() inside it still escapes this one.
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Return):
+                        return True
+                    if isinstance(inner, ast.Call) and self._call_may_exit(inner):
+                        return True
+                continue
+            if isinstance(node, ast.Return):
+                return True
+            if isinstance(node, ast.Call) and self._call_may_exit(node):
+                return True
+            stack.extend(ast.children(node))
         return False
+
+    def _call_may_exit(self, call: ast.Call) -> bool:
+        if call.is_builtin:
+            return call.name == "exit"
+        return call.name in self._may_exit
 
     # -- traversal -------------------------------------------------------------
 
@@ -336,12 +365,29 @@ class StaticForayDetector:
         for expr in exprs:
             if expr is None:
                 continue
-            for node in ast.walk(expr):
-                if isinstance(node, (ast.Index, ast.Member)) or (
-                    isinstance(node, ast.Unary) and node.op == "*"
-                ):
-                    if self._is_memory_ref(node):
-                        self._classify_ref(node, loop_stack, under_if or in_loop_header)
+            self._walk_expr(expr, loop_stack, under_if or in_loop_header)
+
+    def _walk_expr(self, node: ast.Expr, loop_stack, under_if: bool) -> None:
+        if isinstance(node, (ast.Index, ast.Member)) or (
+            isinstance(node, ast.Unary) and node.op == "*"
+        ):
+            if self._is_memory_ref(node):
+                self._classify_ref(node, loop_stack, under_if)
+        # Ternary arms and short-circuit right-hand sides execute
+        # data-dependently, exactly like an if branch.
+        inside_loop = len(loop_stack) > 0
+        if isinstance(node, ast.Ternary):
+            self._walk_expr(node.cond, loop_stack, under_if)
+            self._walk_expr(node.then_expr, loop_stack, under_if or inside_loop)
+            self._walk_expr(node.else_expr, loop_stack, under_if or inside_loop)
+            return
+        if isinstance(node, ast.Binary) and node.op in ("&&", "||"):
+            self._walk_expr(node.left, loop_stack, under_if)
+            self._walk_expr(node.right, loop_stack, under_if or inside_loop)
+            return
+        for child in ast.children(node):
+            if isinstance(child, ast.Expr):
+                self._walk_expr(child, loop_stack, under_if)
 
     def _is_memory_ref(self, node: ast.Expr) -> bool:
         """Only scalar-typed accesses actually touch memory; intermediate
@@ -359,6 +405,9 @@ class StaticForayDetector:
             return False  # control-dependent access pattern
         if not isinstance(node, ast.Index):
             return False  # pointer dereference or struct member
+        if any(info is not None and info.trip_count == 0
+               for info in loop_stack):
+            return False  # enclosed in a loop proven never to run
         # Static SPM techniques analyze loop nests locally: the index must
         # be affine over the *canonical* enclosing iterators; an irregular
         # outer loop is tolerated as long as the index does not depend on
@@ -373,6 +422,30 @@ class StaticForayDetector:
             return False
         symbol = current.symbol
         return isinstance(symbol, Symbol) and symbol.ctype.is_array
+
+
+def _may_exit_functions(program: ast.Program) -> set[str]:
+    """Names of functions that can reach the ``exit()`` builtin."""
+    direct: dict[str, set[str]] = {}
+    out: set[str] = set()
+    for fn in program.functions:
+        calls: set[str] = set()
+        for node in ast.walk(fn.body):
+            if isinstance(node, ast.Call):
+                if node.is_builtin:
+                    if node.name == "exit":
+                        out.add(fn.name)
+                else:
+                    calls.add(node.name)
+        direct[fn.name] = calls
+    changed = True
+    while changed:
+        changed = False
+        for name, calls in direct.items():
+            if name not in out and calls & out:
+                out.add(name)
+                changed = True
+    return out
 
 
 def detect(program: ast.Program) -> StaticAnalysisResult:

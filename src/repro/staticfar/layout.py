@@ -1,0 +1,30 @@
+"""Compile-time replica of the engines' global data layout.
+
+Both execution engines place globals with a bump allocator over
+``program.globals`` in declaration order (see
+``Interpreter._layout_globals``); the static analyzer reproduces that
+walk arithmetically so it can name the exact byte addresses a run will
+use without running anything. String literals are interned *after* all
+globals, so their lazy allocation never disturbs these addresses.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.semantics import Symbol
+from repro.sim.memory import GLOBAL_BASE
+
+
+def global_layout(program: ast.Program) -> dict[Symbol, int]:
+    """Symbol → base address for every global, as the engines lay them out."""
+    addrs: dict[Symbol, int] = {}
+    cursor = GLOBAL_BASE
+    for decl_stmt in program.globals:
+        for decl in decl_stmt.decls:
+            symbol = decl.symbol
+            assert isinstance(symbol, Symbol)
+            align = max(1, symbol.ctype.alignment)
+            addr = (cursor + align - 1) // align * align
+            cursor = addr + max(1, symbol.ctype.size)
+            addrs[symbol] = addr
+    return addrs

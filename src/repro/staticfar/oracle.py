@@ -1,0 +1,236 @@
+"""Static-vs-dynamic differential oracle.
+
+Compares the compile-time :class:`~repro.staticfar.model.StaticForayModel`
+against the trace-extracted :class:`~repro.foray.model.ForayModel` of the
+same program and input. The contract it enforces:
+
+1. **Exactness** — every reference the static analyzer modeled must agree
+   with its dynamic counterpart *exactly*: affine coefficients, constant
+   term, execution/read/write counts, footprint, access size and the
+   per-loop trip/entry structure on its path.
+2. **No silent gaps** — every dynamic user reference the static side did
+   not model must carry an explicit :class:`StaticRefusal`; a dynamic
+   reference with neither a match nor a refusal is a hard failure.
+3. **No phantoms** — the static model must not contain references the
+   dynamic trace never produced.
+4. **Detector consistency** — for references the *form detector* calls
+   FORAY-form, a static refusal is only acceptable when its reason is
+   *contextual* (an enclosing irregular loop, control dependence, an
+   indeterminate frame address...). A refusal that contradicts the
+   detector about the reference itself (``non-affine-index``,
+   ``pointer-dereference``) means the two static layers disagree — a bug.
+5. **Allocation parity** — DP allocation over the reuse graph built from
+   the matched static references equals DP allocation over the same
+   dynamic references, at every capacity of the default ladder.
+
+The surviving, intentional difference between the two models — dynamic
+references with contextual refusals — *is* the paper's Table II gap,
+reported as coverage rather than failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.foray.model import ForayModel, ForayReference
+from repro.sim.trace import node_id_of_pc
+from repro.spm.allocator import Allocation, allocate_graph
+from repro.spm.explore import DEFAULT_CAPACITIES
+from repro.spm.graph import ReuseGraph
+from repro.staticfar.detector import StaticAnalysisResult
+from repro.staticfar.model import StaticForayModel
+
+#: Refusal reasons that concern a reference's *context* (surrounding
+#: control flow, loop shape, frame layout) rather than the reference
+#: itself. These are the honest static-analysis limits the paper's
+#: dynamic approach exists to overcome.
+CONTEXTUAL_REASONS = frozenset({
+    "non-canonical-loop",
+    "early-exit-loop",
+    "control-dependent",
+    "short-circuit",
+    "indeterminate-attribution",
+    "recursion",
+    "stack-allocated",
+    "footprint-too-large",
+})
+
+_REF_FIELDS = ("expression", "exec_count", "footprint", "reads", "writes",
+               "access_size", "mispredictions")
+_LOOP_FIELDS = ("begin_id", "kind", "depth", "max_trip", "min_trip",
+                "entries", "total_iterations")
+
+
+def _ref_key(reference: ForayReference) -> tuple[int, tuple[int, ...]]:
+    return (reference.pc,
+            tuple(loop.begin_id for loop in reference.loop_path))
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one static-vs-dynamic comparison."""
+
+    name: str = ""
+    scenario: str = ""
+    #: Dynamic references with an exactly-agreeing static twin.
+    matched: int = 0
+    dynamic_total: int = 0
+    analyzable_total: int = 0
+    #: Field-level disagreements on matched references (hard failures).
+    mismatches: list[str] = field(default_factory=list)
+    #: Dynamic references with neither a static twin nor a refusal.
+    unexplained: list[str] = field(default_factory=list)
+    #: Static references the dynamic trace never produced.
+    phantoms: list[str] = field(default_factory=list)
+    #: Detector-FORAY-form references refused for a non-contextual reason.
+    detector_conflicts: list[str] = field(default_factory=list)
+    #: Allocation disagreements over the matched-reference graphs.
+    allocation_diffs: list[str] = field(default_factory=list)
+    #: Detector-FORAY-form references excused by a contextual refusal —
+    #: the reproduced Table II gap, not a failure.
+    foray_gap: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.mismatches or self.unexplained or self.phantoms
+                    or self.detector_conflicts or self.allocation_diffs)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dynamic references the static model reproduces."""
+        if not self.dynamic_total:
+            return 1.0
+        return self.matched / self.dynamic_total
+
+    def diff_lines(self) -> list[str]:
+        """Readable failure report, one finding per line."""
+        out: list[str] = []
+        label = f"{self.name}/{self.scenario}" if self.scenario else self.name
+        for line in self.mismatches:
+            out.append(f"{label}: MISMATCH {line}")
+        for line in self.unexplained:
+            out.append(f"{label}: UNEXPLAINED {line}")
+        for line in self.phantoms:
+            out.append(f"{label}: PHANTOM {line}")
+        for line in self.detector_conflicts:
+            out.append(f"{label}: DETECTOR-CONFLICT {line}")
+        for line in self.allocation_diffs:
+            out.append(f"{label}: ALLOCATION {line}")
+        return out
+
+
+def _allocation_signature(allocation: Allocation) -> tuple:
+    entries = []
+    for node in allocation.nodes:
+        reference = node.candidate.reference
+        entries.append((
+            reference.pc,
+            tuple(loop.begin_id for loop in reference.loop_path),
+            node.candidate.level.level,
+            node.candidate.size_bytes,
+            round(node.benefit_nj, 6),
+            node.fill_words,
+            node.writeback_words,
+        ))
+    return tuple(sorted(entries))
+
+
+def _restricted_model(model: ForayModel,
+                      keys: set[tuple[int, tuple[int, ...]]]) -> ForayModel:
+    """A copy of ``model`` keeping only filtered references in ``keys``."""
+    references = [ref for ref in model.references if _ref_key(ref) in keys]
+    return ForayModel(
+        references=references,
+        unfiltered_references=references,
+        loops=model.loops,
+        non_analyzable_count=0,
+        trace_stats=model.trace_stats,
+        captured_accesses=model.captured_accesses,
+        captured_footprint=model.captured_footprint,
+    )
+
+
+def compare_models(
+    dynamic: ForayModel,
+    static: StaticForayModel,
+    detector: StaticAnalysisResult | None = None,
+    capacities: tuple[int, ...] = DEFAULT_CAPACITIES,
+    name: str = "",
+    scenario: str = "",
+) -> OracleReport:
+    """Run the full differential contract; see the module docstring."""
+    report = OracleReport(name=name, scenario=scenario)
+    dynamic_refs = {_ref_key(ref): ref for ref in dynamic.unfiltered_references}
+    static_refs = {_ref_key(ref): ref for ref in static.unfiltered_references}
+    report.dynamic_total = len(dynamic_refs)
+    if detector is not None:
+        report.analyzable_total = len(detector.analyzable_refs)
+
+    matched_keys: set[tuple[int, tuple[int, ...]]] = set()
+    for key, dyn_ref in dynamic_refs.items():
+        node_id = node_id_of_pc(dyn_ref.pc)
+        static_ref = static_refs.get(key)
+        if static_ref is None:
+            refusal = static.refusals.get(node_id)
+            if refusal is None:
+                report.unexplained.append(
+                    f"pc={dyn_ref.pc:#x} node={node_id} "
+                    f"path={key[1]} expr={dyn_ref.expression} — no static "
+                    "model and no refusal")
+            elif detector is not None and node_id in detector.analyzable_refs:
+                if refusal.reason in CONTEXTUAL_REASONS:
+                    report.foray_gap.append((node_id, refusal.reason))
+                else:
+                    report.detector_conflicts.append(
+                        f"node={node_id} is FORAY-form per the detector but "
+                        f"statically refused as {refusal.reason!r} "
+                        f"({refusal.detail})")
+            continue
+        matched_keys.add(key)
+        for field_name in _REF_FIELDS:
+            dyn_value = getattr(dyn_ref, field_name)
+            static_value = getattr(static_ref, field_name)
+            if dyn_value != static_value:
+                report.mismatches.append(
+                    f"pc={dyn_ref.pc:#x} node={node_id} {field_name}: "
+                    f"dynamic={dyn_value!r} static={static_value!r}")
+        for dyn_loop, static_loop in zip(dyn_ref.loop_path,
+                                         static_ref.loop_path):
+            for field_name in _LOOP_FIELDS:
+                dyn_value = getattr(dyn_loop, field_name)
+                static_value = getattr(static_loop, field_name)
+                if dyn_value != static_value:
+                    report.mismatches.append(
+                        f"pc={dyn_ref.pc:#x} loop begin={dyn_loop.begin_id} "
+                        f"{field_name}: dynamic={dyn_value!r} "
+                        f"static={static_value!r}")
+    report.matched = len(matched_keys)
+
+    for key, static_ref in static_refs.items():
+        if key not in dynamic_refs:
+            report.phantoms.append(
+                f"pc={static_ref.pc:#x} node={node_id_of_pc(static_ref.pc)} "
+                f"path={key[1]} modeled statically but never traced")
+
+    # Allocation parity over the common (matched, filtered) references.
+    filtered_keys = {_ref_key(ref) for ref in dynamic.references}
+    common = matched_keys & filtered_keys
+    dyn_graph = ReuseGraph.from_model(_restricted_model(dynamic, common))
+    static_graph = ReuseGraph.from_model(
+        _restricted_model(static.foray_model(), common))
+    for capacity in capacities:
+        dyn_alloc = allocate_graph(dyn_graph, capacity)
+        static_alloc = allocate_graph(static_graph, capacity)
+        dyn_sig = _allocation_signature(dyn_alloc)
+        static_sig = _allocation_signature(static_alloc)
+        if dyn_sig != static_sig:
+            report.allocation_diffs.append(
+                f"capacity={capacity}: dynamic selected {dyn_sig} "
+                f"!= static selected {static_sig}")
+        elif abs(dyn_alloc.total_benefit_nj
+                 - static_alloc.total_benefit_nj) > 1e-6:
+            report.allocation_diffs.append(
+                f"capacity={capacity}: benefit dynamic="
+                f"{dyn_alloc.total_benefit_nj} static="
+                f"{static_alloc.total_benefit_nj}")
+    return report

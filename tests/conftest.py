@@ -7,7 +7,14 @@ are computed once per session and shared by every test that needs them.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Every simulated run in the test suite structurally verifies the lowered
+# and fused bytecode first (memoized per compiled program, so the cost is
+# one pass per program). See repro.sim.verify.
+os.environ.setdefault("REPRO_VERIFY_IR", "1")
 
 from repro.foray.filters import FilterConfig
 from repro.pipeline import WorkloadReport, extract_foray_model, run_workload

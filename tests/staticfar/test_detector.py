@@ -261,3 +261,87 @@ class TestReferenceClassification:
     def test_constant_index_outside_loop_analyzable(self):
         program, result = analyze("int a[4]; int main() { a[2] = 1; return 0; }")
         assert len(result.analyzable_refs) == 1
+
+class TestEdgeCaseLoops:
+    """Degenerate canonical headers: zero trips, negative steps, escape
+    routes the canonical classifier must reject outright rather than
+    mis-model. Regressions for the static analyzer's differential oracle."""
+
+    def test_trip_count_zero_refs_rejected(self):
+        # The loop header is perfectly canonical — trip count 0 — but its
+        # body never runs, so any reference inside it must be rejected
+        # rather than modeled with a zero execution count.
+        program, result = analyze(
+            "int a[4]; int main() { int i;"
+            " for (i = 0; i < 0; i++) a[i] = 1; return 0; }"
+        )
+        (loop,) = loops_of(program)
+        assert result.canonical_loops[loop.node_id].trip_count == 0
+        assert result.analyzable_refs == set()
+        assert result.rejected_refs
+
+    def test_trip_count_zero_downward(self):
+        program, result = analyze(
+            "int a[4]; int main() { int i;"
+            " for (i = 0; i > 4; i--) a[i] = 1; return 0; }"
+        )
+        (info,) = result.canonical_loops.values()
+        assert info.trip_count == 0
+        assert result.analyzable_refs == set()
+
+    def test_negative_step_trip_counts(self):
+        program, result = analyze(
+            "int main() { int i, j; for (i = 9; i > 0; i -= 2) { }"
+            " for (j = 10; j >= 2; j -= 4) { } return 0; }"
+        )
+        trips = sorted(info.trip_count for info in result.canonical_loops.values())
+        assert trips == [3, 5]  # j: 10,6,2; i: 9,7,5,3,1
+
+    def test_negative_step_with_upward_bound_not_canonical(self):
+        # i-- against i < 10 never terminates by the header alone.
+        program, result = analyze(
+            "int main() { int i; for (i = 0; i < 10; i--) { } return 0; }"
+        )
+        assert result.canonical_loops == {}
+
+    def test_negative_step_ref_analyzable(self):
+        program, result = analyze(
+            "int a[10]; int main() { int i;"
+            " for (i = 9; i >= 0; i--) a[i] = i; return 0; }"
+        )
+        assert len(result.analyzable_refs) == 1
+
+    def test_return_in_body_disqualifies(self):
+        program, result = analyze(
+            "int a[8]; int main() { int i; for (i = 0; i < 8; i++)"
+            " { if (a[i]) return 1; } return 0; }"
+        )
+        assert result.canonical_loops == {}
+
+    def test_exit_capable_callee_disqualifies(self):
+        # The may-exit fixpoint must see through the call chain: main's
+        # loop calls f, f calls g, g may call exit().
+        program, result = analyze(
+            "void g(int x) { if (x) exit(1); }"
+            "void f(int x) { g(x); }"
+            "int main() { int i; for (i = 0; i < 8; i++) f(i); return 0; }"
+        )
+        assert result.canonical_loops == {}
+
+    def test_pure_call_chain_stays_canonical(self):
+        program, result = analyze(
+            "int g(int x) { return x + 1; }"
+            "int f(int x) { return g(x); }"
+            "int main() { int i, s; for (i = 0; i < 8; i++) s = f(i);"
+            " return s; }"
+        )
+        assert len(result.canonical_loops) == 1
+
+    def test_in_memory_iterator_rejected(self):
+        # A global (memory-resident) iterator can be aliased by stores the
+        # header cannot see; only register-resident locals qualify.
+        program, result = analyze(
+            "int k; int a[10]; int main() {"
+            " for (k = 0; k < 10; k++) a[k] = k; return 0; }"
+        )
+        assert result.canonical_loops == {}
