@@ -224,6 +224,37 @@ def static_payload(reports) -> dict:
     }
 
 
+def lint_finding(finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "message": finding.message,
+        "line": finding.line,
+        "column": finding.column,
+        "function": finding.function,
+    }
+
+
+def lint_payload(reports) -> dict:
+    return {
+        "command": "lint",
+        "sources": [
+            {
+                "source": report.label,
+                "workload": report.workload,
+                "scenario": report.scenario,
+                "errors": report.error_count,
+                "warnings": report.warning_count,
+                "findings": [lint_finding(f) for f in report.findings],
+            }
+            for report in reports
+        ],
+        "errors": sum(report.error_count for report in reports),
+        "warnings": sum(report.warning_count for report in reports),
+        "ok": all(report.error_count == 0 for report in reports),
+    }
+
+
 def hier_payload(results: list[HierarchyReport]) -> dict:
     return {
         "command": "hier",

@@ -20,6 +20,15 @@ Commands
     table (``--json`` for the machine-readable payload) and exits
     non-zero with a readable diff report on any disagreement.
 
+``lint [NAMES...]``
+    MiniC semantic linter over every (workload × scenario) source (or
+    arbitrary files via ``--file``): definite assignment before use,
+    static array bounds, dead stores, unused variables/parameters,
+    constant branch conditions and zero-trip/non-terminating loops —
+    driven by the same dataflow framework the bytecode engine uses for
+    guard elimination. Stable rule codes (L1xx errors, L2xx warnings),
+    ``--json`` payload, non-zero exit on any error-severity finding.
+
 ``figures``
     Reproduce all paper figure examples.
 
@@ -121,6 +130,8 @@ from repro.pipeline import (
     extract_foray_model,
     full_flow,
     hier_suite,
+    LintReport,
+    lint_suite,
     normalize_ladder,
     persist_store_counters,
     run_suite,
@@ -550,6 +561,35 @@ def cmd_static(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lang.lint import lint_source
+
+    if args.files:
+        if args.names:
+            raise SystemExit("lint: give workload names or --file, not both")
+        reports = [
+            LintReport(path, "", tuple(lint_source(open(path).read(), path)))
+            for path in args.files
+        ]
+    else:
+        try:
+            reports = lint_suite(tuple(args.names) or None)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            raise SystemExit(f"lint: {message}") from None
+    if args.json:
+        print(json.dumps(jsonout.lint_payload(reports), indent=2))
+    else:
+        for report in reports:
+            for finding in report.findings:
+                print(finding.format(report.label))
+        errors = sum(report.error_count for report in reports)
+        warnings = sum(report.warning_count for report in reports)
+        print(f"{len(reports)} source(s) linted: "
+              f"{errors} error(s), {warnings} warning(s)")
+    return 1 if any(report.error_count for report in reports) else 0
+
+
 def cmd_figures(args) -> int:
     relaxed = FilterConfig(nexec=1, nloc=1)
     for name, workload in FIGURE_WORKLOADS.items():
@@ -655,6 +695,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(p_static)
     _add_json_arg(p_static)
     p_static.set_defaults(func=cmd_static)
+
+    p_lint = sub.add_parser(
+        "lint", help="MiniC semantic linter (dataflow-driven)")
+    p_lint.add_argument("names", nargs="*",
+                        help="workload subset (default: every workload x "
+                             "scenario source in the suite)")
+    p_lint.add_argument("--file", dest="files", action="append", default=[],
+                        metavar="PATH",
+                        help="lint a MiniC source file instead of the "
+                             "registered workloads (repeatable)")
+    _add_json_arg(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
     p_figures.set_defaults(func=cmd_figures)

@@ -72,6 +72,7 @@ from repro.foray.emitter import emit_model
 from repro.foray.extractor import ForayExtractor
 from repro.foray.filters import FilterConfig
 from repro.foray.model import ForayModel
+from repro.lang.lint import Finding, lint_source
 from repro.foray.validate import (
     ScenarioValidation,
     ValidationReport,
@@ -935,6 +936,51 @@ def static_suite(
         else:
             tasks.append((workload.name, None, config))
     return _fan_out(tasks, _static_cell_worker, jobs)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Linter findings for one (workload, scenario) source."""
+
+    workload: str
+    scenario: str
+    findings: tuple[Finding, ...]
+
+    @property
+    def label(self) -> str:
+        if self.scenario:
+            return f"{self.workload}/{self.scenario}"
+        return self.workload
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+
+def lint_suite(names: tuple[str, ...] | None = None) -> list[LintReport]:
+    """Run the MiniC linter over every (workload x scenario) source.
+
+    Pure front-end work (no simulation), so cells run serially; the
+    whole suite takes well under a second."""
+    from repro.workloads.registry import get_workload, workload_names
+
+    reports: list[LintReport] = []
+    for workload in (get_workload(n) for n in (names or workload_names())):
+        scenario_names = workload.scenario_names() or (None,)
+        for scenario_name in scenario_names:
+            if scenario_name is None:
+                source, label = workload.source, workload.name
+            else:
+                source = workload.source_for(scenario_name)
+                label = f"{workload.name}/{scenario_name}"
+            reports.append(LintReport(
+                workload.name, scenario_name or "",
+                tuple(lint_source(source, label))))
+    return reports
 
 
 @dataclass

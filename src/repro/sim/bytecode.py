@@ -38,6 +38,7 @@ from __future__ import annotations
 import struct
 import sys
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.lang import ast_nodes as ast
 from repro.lang.ctypes_ import (
@@ -73,7 +74,14 @@ from repro.sim.trace import (
     store_pc,
 )
 
+if TYPE_CHECKING:
+    from repro.sim import specialize
+
 _ADDR_MASK = 0xFFFFFFFF
+
+#: One lowered instruction: ``(op, *operands)``. Operand shapes are
+#: per-opcode (see the opcode table below), so the tuple stays loose.
+_Ins = tuple[Any, ...]
 
 # ---------------------------------------------------------------------------
 # Opcodes. Grouped roughly by dynamic frequency; the dispatch loop tests the
@@ -209,7 +217,7 @@ class ParamSpec:
 @dataclass
 class BytecodeFunction:
     name: str
-    code: tuple[tuple, ...] = ()
+    code: tuple[_Ins, ...] = ()
     n_slots: int = 0
     params: list[ParamSpec] = field(default_factory=list)
     returns_void: bool = False
@@ -229,19 +237,26 @@ class BytecodeProgram:
     global_symbols: list[Symbol]
     #: Code run once at VM startup (tracing off) to initialize globals.
     globals_init: BytecodeFunction
+    #: Per-process derived caches, rebuilt on demand after unpickling
+    #: (see :meth:`__getstate__`): the fused twin and the compiled
+    #: specializations keyed by (guard_elim, check_ranges).
+    _fused: "BytecodeProgram | None" = field(
+        default=None, init=False, repr=False, compare=False)
+    _specializations: "dict[tuple[bool, bool], specialize.Specialization] | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def instruction_count(self) -> int:
         total = len(self.globals_init.code)
         return total + sum(len(fn.code) for fn in self.functions.values())
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # The fused twin and the compiled specialization are per-process
         # derived caches (the latter holds a code object); recompute them
         # after unpickling instead of shipping them across processes.
         state = dict(self.__dict__)
         state.pop("_fused", None)
-        state.pop("_specialization", None)
+        state.pop("_specializations", None)
         return state
 
 
@@ -262,10 +277,10 @@ class _LoopCtx:
 class _FunctionCompiler:
     """Lowers one function body to a flat instruction list."""
 
-    def __init__(self, lowering: "ProgramLowering", name: str):
+    def __init__(self, lowering: "ProgramLowering", name: str) -> None:
         self.lowering = lowering
         self.name = name
-        self.code: list[list] = []
+        self.code: list[list[Any]] = []
         self.slot_of: dict[Symbol, int] = {}
         self.n_locals = 0
         self.temp_sp = 0
@@ -302,7 +317,7 @@ class _FunctionCompiler:
 
     # -- emission ---------------------------------------------------------
 
-    def emit(self, *ins) -> int:
+    def emit(self, *ins: Any) -> int:
         self.code.append(list(ins))
         return len(self.code) - 1
 
@@ -888,8 +903,9 @@ class _FunctionCompiler:
         return t
 
     def _emit_binop(self, dst: int, op: str, left: int, right: int,
-                    left_ctype, right_ctype, result_ctype,
-                    location) -> None:
+                    left_ctype: CType, right_ctype: CType,
+                    result_ctype: CType,
+                    location: ast.SourceLocation) -> None:
         """Arithmetic lowering shared by binary operators and compound
         assignment (where ``result_ctype`` is the lvalue's type)."""
         left_type = decay(left_ctype)
@@ -1013,7 +1029,8 @@ class _FunctionCompiler:
         return dst
 
     def _emit_compound(self, dst: int, op: str, old: int, rhs: int,
-                       target_type: CType, location) -> None:
+                       target_type: CType,
+                       location: ast.SourceLocation) -> None:
         if isinstance(target_type, PointerType) and op in ("+", "-"):
             if op == "+":
                 self.emit(OP_ADD_P, dst, old, rhs, target_type.pointee.size)
@@ -1040,7 +1057,7 @@ class _FunctionCompiler:
 class ProgramLowering:
     """Compiles an analyzed program into a :class:`BytecodeProgram`."""
 
-    def __init__(self, program: ast.Program):
+    def __init__(self, program: ast.Program) -> None:
         self.program = program
         self.global_index: dict[Symbol, int] = {}
         self.global_symbols: list[Symbol] = []
@@ -1121,7 +1138,8 @@ class BytecodeVM:
         trace_block_size: int = DEFAULT_TRACE_BLOCK,
         input_spec: InputSpec | None = None,
         fusion: bool = True,
-    ):
+        guard_elim: bool = True,
+    ) -> None:
         self.bytecode = bytecode
         self.program = bytecode.program
         self._sinks = tuple(sinks)
@@ -1133,6 +1151,10 @@ class BytecodeVM:
         # the flush threshold is scaled once here.
         self._flat_limit = 4 * self._block_size
         self._fusion = bool(fusion)
+        #: Interval-analysis guard elimination in the specialized code
+        #: (only meaningful with fusion; off compiles the fully checked
+        #: variant for timing and differential testing).
+        self._guard_elim = bool(guard_elim)
 
         self.memory = Memory()
         self._globals_alloc = BumpAllocator(GLOBAL_BASE)
@@ -1245,7 +1267,8 @@ class BytecodeVM:
         if self._fusion:
             from repro.sim.specialize import get_specialization
             return self._run_specialized(
-                get_specialization(self.bytecode), entry)
+                get_specialization(self.bytecode,
+                                   guard_elim=self._guard_elim), entry)
         self._tracing = True
         try:
             result = self._execute(fn, [], budget_active=True)
@@ -1256,7 +1279,8 @@ class BytecodeVM:
             self._flush_trace()
         return int(result) if result is not None else 0
 
-    def _run_specialized(self, spec, entry: str) -> int:
+    def _run_specialized(self, spec: "specialize.Specialization",
+                         entry: str) -> int:
         """Run the block-compiled fast path (fused code as generated
         Python). Mirrors :meth:`run`'s classic branch observable for
         observable: stats, trace stream, stdout and exit code."""
@@ -1284,7 +1308,8 @@ class BytecodeVM:
                 sys.setrecursionlimit(limit)
         return int(result) if result is not None else 0
 
-    def _bind_frame(self, fn: BytecodeFunction, args: list) -> tuple[list, int]:
+    def _bind_frame(self, fn: BytecodeFunction,
+                    args: list[Any]) -> tuple[list[Any], int]:
         """Build the register file for ``fn`` and bind converted args."""
         regs = [0] * fn.n_slots
         marker = self._stack.push_frame()
@@ -1317,8 +1342,8 @@ class BytecodeVM:
                 regs[spec.slot] = value
         return regs, marker
 
-    def _execute(self, fn: BytecodeFunction, args: list,
-                 budget_active: bool) -> object:
+    def _execute(self, fn: BytecodeFunction, args: list[Any],
+                 budget_active: bool) -> Any:
         """The dispatch loop. Runs ``fn`` and every function it calls."""
         memory = self.memory
         stack = self._stack
@@ -1337,7 +1362,7 @@ class BytecodeVM:
 
         regs, marker = self._bind_frame(fn, args)
         # Caller frames: (function, code, resume_pc, regs, dst, stack_marker).
-        frames: list[tuple] = []
+        frames: list[tuple[Any, ...]] = []
         if budget_active:  # globals init is not a simulated call
             self.stats.calls += 1
         code = fn.code
@@ -1642,8 +1667,10 @@ class BytecodeVM:
         finally:
             self.stats.steps = steps
 
-    def _emit_pending_body_ends(self, fn: BytecodeFunction, pc: int,
-                                frames: list[tuple]) -> None:
+    def _emit_pending_body_ends(
+        self, fn: BytecodeFunction, pc: int,
+        frames: list[tuple[Any, ...]],
+    ) -> None:
         stack = [(fn, pc)]
         for caller, caller_code, caller_pc, *_rest in reversed(frames):
             stack.append((caller, caller_pc))
@@ -1656,7 +1683,9 @@ class BytecodeVM:
             for _, body_end_id in sorted(open_regions, reverse=True):
                 self._trace_checkpoint(body_end_id, BODY_END_CODE)
 
-    def _pending_body_ends_one(self, regions, frame_pc: int) -> None:
+    def _pending_body_ends_one(
+        self, regions: Iterable[tuple[int, int, int]], frame_pc: int,
+    ) -> None:
         """Replay one frame's pending body-end checkpoints (the
         specialized drivers call this per frame as ``exit()`` unwinds,
         innermost-first — the same order :meth:`_emit_pending_body_ends`
@@ -1753,65 +1782,21 @@ _PURE_OPS = frozenset((
 ))
 
 
-def _liveness(code) -> list[int]:
+def _liveness(code: Sequence[_Ins]) -> list[int]:
     """Per-instruction live-*out* register bitmask (backward fixpoint).
 
-    Exceptions need no edges: a MiniC runtime error or budget overrun
-    aborts the whole run, and the ``exit()`` unwind path reads only the
-    per-frame pcs, never registers.
+    Delegates to the block-level dataflow framework (the least fixpoint
+    is unique, so this is bit-identical to the historical ad-hoc
+    instruction-level pass). Exceptions need no edges: a MiniC runtime
+    error or budget overrun aborts the whole run, and the ``exit()``
+    unwind path reads only the per-frame pcs, never registers.
     """
-    n = len(code)
-    use = [0] * n
-    kill = [0] * n
-    succs: list[tuple[int, ...]] = []
-    for i, ins in enumerate(code):
-        op = ins[0]
-        if op == OP_CALL or op == OP_CALLB:
-            u = 0
-            for slot in ins[3]:
-                u |= 1 << slot
-            use[i] = u
-            kill[i] = 1 << ins[1]
-        else:
-            u = 0
-            for pos in _READS[op]:
-                u |= 1 << ins[pos]
-            use[i] = u
-            w = _WRITES.get(op)
-            if w is not None:
-                kill[i] = 1 << ins[w]
-        if op == OP_JMP:
-            succs.append((ins[1],))
-        elif op == OP_JZ or op == OP_JNZ:
-            succs.append((i + 1, ins[2]))
-        elif op == OP_BR:
-            succs.append((i + 1, ins[4]))
-        elif op == OP_RET or op == OP_RET0:
-            succs.append(())
-        else:
-            succs.append((i + 1,))
-    live_in = [0] * (n + 1)
-    changed = True
-    while changed:
-        changed = False
-        for i in range(n - 1, -1, -1):
-            out = 0
-            for s in succs[i]:
-                out |= live_in[s]
-            new = use[i] | (out & ~kill[i])
-            if new != live_in[i]:
-                live_in[i] = new
-                changed = True
-    live_out = [0] * n
-    for i in range(n):
-        out = 0
-        for s in succs[i]:
-            out |= live_in[s]
-        live_out[i] = out
-    return live_out
+    from repro.sim import dataflow
+
+    return dataflow.liveness(code)
 
 
-def _jump_targets(code) -> set[int]:
+def _jump_targets(code: Sequence[_Ins]) -> set[int]:
     targets: set[int] = set()
     for ins in code:
         op = ins[0]
@@ -1824,7 +1809,7 @@ def _jump_targets(code) -> set[int]:
     return targets
 
 
-def _fuse_once(code) -> dict[int, tuple]:
+def _fuse_once(code: Sequence[_Ins]) -> dict[int, _Ins]:
     """One left-to-right scan; {first_index: fused_instruction}.
 
     A pair is fused only when the second instruction is not a jump
@@ -1835,7 +1820,7 @@ def _fuse_once(code) -> dict[int, tuple]:
     n = len(code)
     targets = _jump_targets(code)
     live_out = _liveness(code)
-    fused: dict[int, tuple] = {}
+    fused: dict[int, _Ins] = {}
     i = 0
     while i < n - 1:
         if i + 1 in targets:
@@ -1926,12 +1911,13 @@ def _fuse_once(code) -> dict[int, tuple]:
     return fused
 
 
-def _rebuild(code, fused) -> tuple[list[tuple], list[int]]:
+def _rebuild(code: Sequence[_Ins],
+             fused: dict[int, _Ins]) -> tuple[list[_Ins], list[int]]:
     """Apply one round of fusions; return (new_code, pos) where pos[p] is
     the new index of the first retained instruction with old index >= p
     (monotone — the remap rule for jump targets and region bounds)."""
     n = len(code)
-    new_code: list[tuple] = []
+    new_code: list[_Ins] = []
     pos = [0] * (n + 1)
     i = 0
     while i < n:
@@ -1956,7 +1942,7 @@ def _rebuild(code, fused) -> tuple[list[tuple], list[int]]:
     return new_code, pos
 
 
-def _sink_steps(code: list) -> None:
+def _sink_steps(code: list[_Ins]) -> None:
     """Accumulate STEP counts backwards across pure instructions.
 
     Between two STEPs separated only by :data:`_PURE_OPS` nothing can
@@ -2042,7 +2028,7 @@ def fuse_program(bp: BytecodeProgram) -> BytecodeProgram:
     return cached
 
 
-def fusion_stats(bp: BytecodeProgram) -> dict:
+def fusion_stats(bp: BytecodeProgram) -> dict[str, Any]:
     """Static fusion coverage of a program (reported by the benchmarks).
 
     ``memory_fused_share`` is the fraction of memory-access instructions

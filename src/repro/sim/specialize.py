@@ -42,11 +42,21 @@ frame marker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from types import CodeType
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.lang.ctypes_ import FloatType, IntType, PointerType
 from repro.sim import bytecode as bc
+
+if TYPE_CHECKING:
+    from repro.sim.dataflow import AccessFact
+
+#: One lowered/fused instruction: ``(op, *operands)``.
+_Ins = tuple[Any, ...]
+#: The line-writer bound method (``self.lines.append``).
+_W = Callable[[str], None]
 
 _M32 = "4294967295"
 
@@ -62,20 +72,21 @@ class _Region:
 
     id: int
     #: Every chain inside the region, nested loops included.
-    members: tuple
+    members: tuple[int, ...]
     #: Chains dispatched directly by this region's ladder.
-    direct: tuple
+    direct: tuple[int, ...]
     #: Nested loops, each its own :class:`_Region`.
-    children: tuple
+    children: tuple["_Region", ...]
 
 
-def _sccs(nodes, succ):
+def _sccs(nodes: list[int],
+          succ: dict[int, list[int]]) -> list[list[int]]:
     """Tarjan's strongly connected components, iteratively."""
-    index: dict = {}
-    low: dict = {}
-    on: dict = {}
-    stack: list = []
-    out = []
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on: dict[int, bool] = {}
+    stack: list[int] = []
+    out: list[list[int]] = []
     next_index = 0
     for root in nodes:
         if root in index:
@@ -117,15 +128,17 @@ def _sccs(nodes, succ):
     return out
 
 
-def _loop_forest(nodes, succ, counter):
+def _loop_forest(
+    nodes: list[int], succ: dict[int, list[int]], counter: list[int],
+) -> tuple[list[int], list[_Region]]:
     """Split a chain graph into straight-line chains and loop regions.
 
     Each nontrivial SCC is a loop; removing the in-SCC edges into its
     header breaks the cycle, and recursing on the remainder exposes the
     nested loops. Returns ``(straight_chains, regions)``.
     """
-    straight = []
-    regions = []
+    straight: list[int] = []
+    regions: list[_Region] = []
     for comp in _sccs(nodes, succ):
         if len(comp) == 1 and comp[0] not in succ.get(comp[0], ()):
             straight.append(comp[0])
@@ -149,17 +162,27 @@ class Specialization:
 
     source: str
     code: CodeType
-    consts: tuple
+    consts: tuple[Any, ...]
     fmts: tuple[str, ...]
     #: MiniC function name → generated driver symbol (index-mangled, so
     #: simulated names that collide with Python keywords stay legal).
     drivers: dict[str, str]
+    #: Page indices the interval analysis pinned accesses to; their
+    #: bytearrays are resolved once at bind time (``_pg{index}``).
+    pages: tuple[int, ...] = ()
+    #: Predicted static global layout the guard-eliminated code was
+    #: compiled against; re-checked against the real VM at bind time.
+    layout: tuple[int, ...] = ()
 
-    def bind(self, vm) -> dict:
+    def bind(self, vm: "bc.BytecodeVM") -> dict[str, Any]:
         """Exec the generated module against one VM's state; returns the
         module namespace (driver functions live under ``drivers``)."""
         memory = vm.memory
-        env = {
+        if self.layout and tuple(vm._global_addrs) != self.layout:
+            raise bc.MiniCRuntimeError(
+                "specializer: static global layout prediction does not "
+                "match the VM (guard elimination would be unsound)")
+        env: dict[str, Any] = {
             "_VM": vm,
             "_PG": memory._pages,
             "_MP": memory._page,
@@ -198,22 +221,55 @@ class Specialization:
         for i, fmt in enumerate(self.fmts):
             env[f"_U{i}"] = bc._UNPACK.get(fmt)
             env[f"_P{i}"] = bc._PACK.get(fmt)
+        # Preresolve the statically proven pages: creating a page eagerly
+        # is invisible (an untouched page reads as zeros either way, and
+        # page bytearrays are never replaced once created).
+        for p in self.pages:
+            env[f"_pg{p}"] = memory._page(p)
         exec(self.code, env)
         return env
 
 
-def get_specialization(bp) -> Specialization:
-    """The (cached) specialization of a lowered program."""
-    spec = getattr(bp, "_specialization", None)
+def _check_ranges_enabled() -> bool:
+    """REPRO_CHECK_RANGES=1 compiles runtime asserts for every derived
+    interval into the specialized code (the guard-elim debug mode)."""
+    return os.environ.get("REPRO_CHECK_RANGES", "") not in ("", "0")
+
+
+def get_specialization(bp: "bc.BytecodeProgram",
+                       guard_elim: bool = True) -> Specialization:
+    """The (cached) specialization of a lowered program.
+
+    Variants are keyed by (guard_elim, check_ranges): the interval-based
+    guard elimination can be disabled for timing/debugging, and the
+    check-ranges debug mode compiles different (asserting) code.
+    """
+    key = (bool(guard_elim), _check_ranges_enabled())
+    cache = getattr(bp, "_specializations", None)
+    if cache is None:
+        cache = {}
+        bp._specializations = cache
+    spec = cache.get(key)
     if spec is None:
-        spec = _specialize(bc.fuse_program(bp))
-        bp._specialization = spec
+        spec = _specialize(bc.fuse_program(bp), guard_elim=key[0],
+                           check_ranges=key[1])
+        cache[key] = spec
     return spec
 
 
-def _specialize(fbp) -> Specialization:
+def _specialize(fbp: "bc.BytecodeProgram", guard_elim: bool = True,
+                check_ranges: bool = False) -> Specialization:
+    facts: dict[str, dict[int, "AccessFact"]] = {}
+    layout: tuple[int, ...] = ()
+    if guard_elim:
+        from repro.sim import dataflow
+
+        layout = dataflow.static_global_layout(fbp)
+        facts = {name: dataflow.access_facts(fn, layout)
+                 for name, fn in fbp.functions.items()}
     fidx = {name: i for i, name in enumerate(fbp.functions)}
-    gen = _Codegen(fidx)
+    gen = _Codegen(fidx, facts=facts, guard_elim=guard_elim,
+                   check_ranges=check_ranges)
     for name, fn in fbp.functions.items():
         gen.emit_function(fidx[name], name, fn)
     source = "\n".join(gen.lines) + "\n"
@@ -222,7 +278,9 @@ def _specialize(fbp) -> Specialization:
                           consts=tuple(gen.consts),
                           fmts=tuple(gen.fmts),
                           drivers={name: f"_fn{i}"
-                                   for name, i in fidx.items()})
+                                   for name, i in fidx.items()},
+                          pages=tuple(sorted(gen.pages)),
+                          layout=layout)
 
 
 _CMP_SYM = {
@@ -245,12 +303,22 @@ def _cmp_sym(op: int) -> str:
 
 
 class _Codegen:
-    def __init__(self, fidx: dict[str, int]):
+    def __init__(self, fidx: dict[str, int],
+                 facts: dict[str, dict[int, "AccessFact"]] | None = None,
+                 guard_elim: bool = False,
+                 check_ranges: bool = False) -> None:
         self.fidx = fidx
         self.lines: list[str] = []
-        self.consts: list = []
+        self.consts: list[Any] = []
         self.fmts: list[str] = []
         self._fmt_index: dict[str, int] = {}
+        #: Function name → {instruction index → interval access fact}.
+        self._all_facts = facts or {}
+        self._facts: dict[int, "AccessFact"] = {}
+        self._guard = guard_elim
+        self._check = check_ranges
+        #: Pages referenced by page-pinned fast paths (bound as _pg{p}).
+        self.pages: set[int] = set()
         #: Block-local slot → local-name map (register localization).
         self._cur: dict[int, str] = {}
         #: Block-local constant tracking: slot → (literal expr, value).
@@ -277,24 +345,24 @@ class _Codegen:
         self._ver: dict[int, int] = {}
         #: Value numbering: (expr, mask, maxv, operand versions) → the
         #: (slot, version, name, dom) that already holds the value.
-        self._cse: dict = {}
+        self._cse: dict[Any, Any] = {}
         #: Operand (slot, version) pairs of the instruction being
         #: emitted — part of every CSE key.
-        self._reads_key: tuple = ()
+        self._reads_key: tuple[Any, ...] = ()
         #: Unique suffix for divmod-core temporaries.
         self._site = 0
         #: pc of the instruction being emitted (written_after lookups).
         self._pc = -1
         #: Chain index → in-region transfer kind; targets outside the
         #: current region return to the enclosing dispatcher.
-        self._route: dict[int, tuple] = {}
+        self._route: dict[int, tuple[Any, ...]] = {}
         #: Slots carried in ``t`` locals across the current region's
         #: iterations (sorted; empty outside regions).
         self._carried: tuple[int, ...] = ()
 
     # -- shared tables -----------------------------------------------------
 
-    def _const(self, obj) -> str:
+    def _const(self, obj: Any) -> str:
         self.consts.append(obj)
         return f"_C[{len(self.consts) - 1}]"
 
@@ -306,7 +374,7 @@ class _Codegen:
             self._fmt_index[fmt] = index
         return index
 
-    def _lit(self, value) -> str:
+    def _lit(self, value: Any) -> str:
         """A literal expression for an OP_CONST/immediate value."""
         if type(value) is float and (value != value or value in
                                      (float("inf"), float("-inf"))):
@@ -346,7 +414,7 @@ class _Codegen:
             self._doms[slot] = dom
         return name
 
-    def _set_const(self, slot: int, value) -> None:
+    def _set_const(self, slot: int, value: Any) -> None:
         """Record a constant slot; materialize the local only when the
         slot survives the block (reads inside it use the literal)."""
         lit = self._lit(value)
@@ -363,7 +431,7 @@ class _Codegen:
                 self._ints.discard(slot)
         self._lits[slot] = (lit, value)
 
-    def _lit_int(self, slot: int):
+    def _lit_int(self, slot: int) -> int | None:
         """The slot's statically known int value, or None."""
         lit = self._lits.get(slot)
         if lit is not None and type(lit[1]) is int:
@@ -420,6 +488,7 @@ class _Codegen:
 
     def emit_function(self, findex: int, name: str,
                       fn: "bc.BytecodeFunction") -> None:
+        self._facts = self._all_facts.get(name, {})
         code = fn.code
         n = len(code)
         leaders = {0}
@@ -497,6 +566,7 @@ class _Codegen:
             end = ranges[chain[-1]][1]
             term = code[end - 1]
             top = term[0]
+            targets: tuple[int, ...]
             if top == bc.OP_JMP:
                 targets = (term[1],)
             elif top == bc.OP_JZ or top == bc.OP_JNZ:
@@ -533,8 +603,11 @@ class _Codegen:
         self.lines.append("")
         self._emit_driver(findex, name, fn, rv, pcs, mk)
 
-    def _emit_chain_body(self, chain, ranges, code, blk, rv, pcs, mk,
-                         live_out) -> None:
+    def _emit_chain_body(self, chain: list[int],
+                         ranges: list[tuple[int, int]],
+                         code: Sequence[_Ins], blk: dict[int, int],
+                         rv: int, pcs: int, mk: int,
+                         live_out: Sequence[int]) -> None:
         """Emit one chain's statements at base indentation, routing
         control transfers through :meth:`_goto`."""
         # Inside a region every carried slot's value lives in its
@@ -577,8 +650,12 @@ class _Codegen:
             for line in self._goto(blk[end], live_out[end - 1]):
                 self.lines.append("    " + line)
 
-    def _emit_region(self, findex, reg, chains, ranges, code, blk, rv,
-                     pcs, mk, live_out) -> None:
+    def _emit_region(self, findex: int, reg: _Region,
+                     chains: list[list[int]],
+                     ranges: list[tuple[int, int]],
+                     code: Sequence[_Ins], blk: dict[int, int], rv: int,
+                     pcs: int, mk: int,
+                     live_out: Sequence[int]) -> tuple[int, ...]:
         """One loop region: ``while True`` around a chain-index ladder.
 
         Direct members inline their bodies; nested loops dispatch into
@@ -634,7 +711,7 @@ class _Codegen:
             self.lines[start:] = ["    " + line
                                   for line in self.lines[start:]]
         else:
-            route: dict[int, tuple] = {}
+            route: dict[int, tuple[Any, ...]] = {}
             for m in reg.direct:
                 route[m] = ("intra",)
             for child in reg.children:
@@ -695,7 +772,9 @@ class _Codegen:
                 *(f"t{slot} = r[{slot}]" for slot in reload),
                 "continue")
 
-    def _emit_branch(self, w, cond, when_true, when_false) -> None:
+    def _emit_branch(self, w: _W, cond: str,
+                     when_true: tuple[str, ...],
+                     when_false: tuple[str, ...]) -> None:
         """A two-way transfer on ``cond``. Identical leading sync lines
         (both arms exiting flush the same live set) hoist above the
         condition; the remaining same-shape arms merge into a single
@@ -730,7 +809,9 @@ class _Codegen:
         for line in when_false:
             w("    " + line)
 
-    def _emit_driver(self, findex, name, fn, rv, pcs, mk) -> None:
+    def _emit_driver(self, findex: int, name: str,
+                     fn: "bc.BytecodeFunction", rv: int, pcs: int,
+                     mk: int) -> None:
         w = self.lines.append
         w(f"def _fn{findex}(*_a):  # {name}")
         w(f"    r = [0] * {fn.n_slots + 3}")
@@ -785,7 +866,8 @@ class _Codegen:
 
     # -- instruction templates ---------------------------------------------
 
-    def _cse_hit(self, key, dst, dom) -> bool:
+    def _cse_hit(self, key: Any, dst: int,
+                 dom: tuple[int, int] | None) -> bool:
         """Reuse an earlier identical pure computation if its result is
         still held somewhere. Keys embed the operand slots' write
         versions, so a lookup only matches values computed from the
@@ -810,10 +892,11 @@ class _Codegen:
                 f"    {self._wr(dst, is_int=True, dom=dom)} = {name}")
         return True
 
-    def _cse_put(self, key, dst) -> None:
+    def _cse_put(self, key: Any, dst: int) -> None:
         self._cse[key] = (dst, self._ver.get(dst, 0), self._cur[dst])
 
-    def _wrap(self, value_expr, mask, maxv, dst) -> None:
+    def _wrap(self, value_expr: str, mask: int, maxv: int,
+              dst: int) -> None:
         """IntType.wrap with the sign branch specialized away when the
         type is unsigned (maxv < 0), exactly as the dispatch loop's
         ``ins[maxv] >= 0 and value > maxv`` test behaves."""
@@ -827,7 +910,7 @@ class _Codegen:
             w(f"    if {name} > {maxv}: {name} -= {mask + 1}")
         self._cse_put(key, dst)
 
-    def _assign_p(self, dst, expr) -> None:
+    def _assign_p(self, dst: int, expr: str) -> None:
         """CSE-aware pointer-valued assignment (address math)."""
         dom = (4294967295, -1)
         key = (expr, dom, self._reads_key)
@@ -837,7 +920,7 @@ class _Codegen:
         self.lines.append(f"    {name} = {expr}")
         self._cse_put(key, dst)
 
-    def _trace(self, w, pc, size, is_write) -> None:
+    def _trace(self, w: _W, pc: int, size: int, is_write: bool) -> None:
         # The buffer-limit check is batched at the chain's exits (the
         # overshoot is bounded by the chain's own access count).
         w(f"    _AX(({pc}, a_, {size}, {1 if is_write else 0}))")
@@ -845,14 +928,58 @@ class _Codegen:
         if self._snap is not None:
             self._snap += 1
 
-    def _emit_load_i(self, w, dst, addr_expr, size, fmt, signed, pc):
+    def _access_fact(
+        self, size: int,
+    ) -> tuple["AccessFact | None", int | None, bool]:
+        """(fact, pinned page, crossing provably impossible) for the
+        instruction being emitted, under the current optimization mode.
+
+        The interval facts are keyed by the *fused-code* instruction
+        index (``self._pc``), which is exactly what `_emit_ins` walks.
+        """
+        fact = self._facts.get(self._pc)
+        if fact is None:
+            return None, None, False
+        if fact.size != size:  # defensive; shapes always agree
+            return None, None, False
+        page = fact.page if self._guard else None
+        if page is not None:
+            self.pages.add(page)
+        return fact, page, self._guard and fact.no_cross
+
+    def _range_check(self, w: _W, fact: "AccessFact | None") -> None:
+        """REPRO_CHECK_RANGES: assert the derived interval + congruence
+        against the concrete address (``a_`` is already assigned)."""
+        if not self._check or fact is None or not fact.nontrivial:
+            return
+        cond = f"{fact.lo} <= a_ <= {fact.hi}"
+        if fact.mod > 1:
+            cond += f" and a_ % {fact.mod} == {fact.rem}"
+        w(f"    assert {cond}, ('interval fact violated', {self._pc}, a_)")
+
+    def _emit_load_i(self, w: _W, dst: int, addr_expr: str, size: int,
+                     fmt: str, signed: int, pc: int) -> None:
         # A signed/unsigned load of ``size`` bytes lands exactly in the
         # matching wrap domain, so a following same-type CONV_I elides.
         mask = (1 << 8 * size) - 1
         name = self._wr(dst, is_int=True,
                         dom=(mask, mask >> 1 if signed else -1))
         w(f"    a_ = {addr_expr}")
-        if size == 1:
+        fact, page, no_cross = self._access_fact(size)
+        self._range_check(w, fact)
+        if page is not None:
+            # Interval-proven single page: the bytearray was resolved
+            # at bind time, no dict lookup and no crossing check.
+            if size == 1:
+                w(f"    {name} = _pg{page}[a_ & 4095]")
+                if signed:
+                    # Raw byte indexing skips the struct format, so the
+                    # sign fold stays manual (as in the generic path).
+                    w(f"    if {name} > 127: {name} -= 256")
+            else:
+                w(f"    {name} = _U{self._fmt(fmt)}(_pg{page}, "
+                  f"a_ & 4095)[0]")
+        elif size == 1:
             # A byte never crosses a page: plain bytearray indexing
             # replaces the struct call (and the crossing check).
             w("    p_ = _PG.get(a_ >> 12)")
@@ -860,6 +987,12 @@ class _Codegen:
             w(f"    {name} = p_[a_ & 4095]")
             if signed:
                 w(f"    if {name} > 127: {name} -= 256")
+        elif no_cross:
+            # Alignment-proven in-page access: the crossing check (and
+            # its slow-path arm) drops; the page is still dynamic.
+            w("    p_ = _PG.get(a_ >> 12)")
+            w("    if p_ is None: p_ = _MP(a_ >> 12)")
+            w(f"    {name} = _U{self._fmt(fmt)}(p_, a_ & 4095)[0]")
         else:
             w("    o_ = a_ & 4095")
             w(f"    if o_ <= {4096 - size}:")
@@ -870,28 +1003,50 @@ class _Codegen:
             w(f"        {name} = _RI(a_, {size}, {bool(signed)})")
         self._trace(w, pc, size, False)
 
-    def _emit_load_f(self, w, dst, addr_expr, size, fmt, pc):
+    def _emit_load_f(self, w: _W, dst: int, addr_expr: str, size: int,
+                     fmt: str, pc: int) -> None:
         name = self._wr(dst)
         w(f"    a_ = {addr_expr}")
-        w("    o_ = a_ & 4095")
-        w(f"    if o_ <= {4096 - size}:")
-        w("        p_ = _PG.get(a_ >> 12)")
-        w("        if p_ is None: p_ = _MP(a_ >> 12)")
-        w(f"        {name} = _U{self._fmt(fmt)}(p_, o_)[0]")
-        w("    else:")
-        w(f"        {name} = _RF(a_, {size})")
+        fact, page, no_cross = self._access_fact(size)
+        self._range_check(w, fact)
+        if page is not None:
+            w(f"    {name} = _U{self._fmt(fmt)}(_pg{page}, a_ & 4095)[0]")
+        elif no_cross:
+            w("    p_ = _PG.get(a_ >> 12)")
+            w("    if p_ is None: p_ = _MP(a_ >> 12)")
+            w(f"    {name} = _U{self._fmt(fmt)}(p_, a_ & 4095)[0]")
+        else:
+            w("    o_ = a_ & 4095")
+            w(f"    if o_ <= {4096 - size}:")
+            w("        p_ = _PG.get(a_ >> 12)")
+            w("        if p_ is None: p_ = _MP(a_ >> 12)")
+            w(f"        {name} = _U{self._fmt(fmt)}(p_, o_)[0]")
+            w("    else:")
+            w(f"        {name} = _RF(a_, {size})")
         self._trace(w, pc, size, False)
 
-    def _emit_store_i(self, w, addr_expr, src, dst, size, mask, maxv,
-                      fmt, pc):
+    def _emit_store_i(self, w: _W, addr_expr: str, src: int, dst: int,
+                      size: int, mask: int, maxv: int, fmt: str,
+                      pc: int) -> None:
         w(f"    a_ = {addr_expr}")
         w(f"    v_ = {self._rd_int(src)} & {mask}")
-        if size == 1:
+        fact, page, no_cross = self._access_fact(size)
+        self._range_check(w, fact)
+        if page is not None:
+            if size == 1:
+                w(f"    _pg{page}[a_ & 4095] = v_")
+            else:
+                w(f"    _P{self._fmt(fmt)}(_pg{page}, a_ & 4095, v_)")
+        elif size == 1:
             # A byte never crosses a page; the masked value is already
             # in [0, 255], so bytearray assignment stores it verbatim.
             w("    p_ = _PG.get(a_ >> 12)")
             w("    if p_ is None: p_ = _MP(a_ >> 12)")
             w("    p_[a_ & 4095] = v_")
+        elif no_cross:
+            w("    p_ = _PG.get(a_ >> 12)")
+            w("    if p_ is None: p_ = _MP(a_ >> 12)")
+            w(f"    _P{self._fmt(fmt)}(p_, a_ & 4095, v_)")
         else:
             w("    o_ = a_ & 4095")
             w(f"    if o_ <= {4096 - size}:")
@@ -906,43 +1061,71 @@ class _Codegen:
         if pc >= 0:
             self._trace(w, pc, size, True)
 
-    def _emit_store_f(self, w, addr_expr, src, dst, size, fmt, pc):
+    def _emit_store_f(self, w: _W, addr_expr: str, src: int, dst: int,
+                      size: int, fmt: str, pc: int) -> None:
         w(f"    a_ = {addr_expr}")
         w(f"    v_ = float({self._rd(src)})")
-        w("    o_ = a_ & 4095")
-        w(f"    if o_ <= {4096 - size}:")
-        w("        p_ = _PG.get(a_ >> 12)")
-        w("        if p_ is None: p_ = _MP(a_ >> 12)")
-        w("        try:")
-        w(f"            _P{self._fmt(fmt)}(p_, o_, v_)")
-        w("        except OverflowError:")
-        w(f"            _WF(a_, v_, {size})")
-        w("    else:")
-        w(f"        _WF(a_, v_, {size})")
+        fact, page, no_cross = self._access_fact(size)
+        self._range_check(w, fact)
+        if page is not None:
+            # Out-of-range doubles still divert to write_float, which
+            # owns the overflow-to-inf packing semantics.
+            w("    try:")
+            w(f"        _P{self._fmt(fmt)}(_pg{page}, a_ & 4095, v_)")
+            w("    except OverflowError:")
+            w(f"        _WF(a_, v_, {size})")
+        elif no_cross:
+            w("    p_ = _PG.get(a_ >> 12)")
+            w("    if p_ is None: p_ = _MP(a_ >> 12)")
+            w("    try:")
+            w(f"        _P{self._fmt(fmt)}(p_, a_ & 4095, v_)")
+            w("    except OverflowError:")
+            w(f"        _WF(a_, v_, {size})")
+        else:
+            w("    o_ = a_ & 4095")
+            w(f"    if o_ <= {4096 - size}:")
+            w("        p_ = _PG.get(a_ >> 12)")
+            w("        if p_ is None: p_ = _MP(a_ >> 12)")
+            w("        try:")
+            w(f"            _P{self._fmt(fmt)}(p_, o_, v_)")
+            w("        except OverflowError:")
+            w(f"            _WF(a_, v_, {size})")
+            w("    else:")
+            w(f"        _WF(a_, v_, {size})")
         w(f"    {self._wr(dst)} = v_")
         if pc >= 0:
             self._trace(w, pc, size, True)
 
-    def _emit_store_p(self, w, addr_expr, src, dst, pc):
+    def _emit_store_p(self, w: _W, addr_expr: str, src: int, dst: int,
+                      pc: int) -> None:
         w(f"    a_ = {addr_expr}")
         w(f"    v_ = {self._rd_int(src)} & {_M32}")
-        w("    o_ = a_ & 4095")
-        w("    if o_ <= 4092:")
-        w("        p_ = _PG.get(a_ >> 12)")
-        w("        if p_ is None: p_ = _MP(a_ >> 12)")
-        w(f"        _P{self._fmt('<I')}(p_, o_, v_)")
-        w("    else:")
-        w("        _WI(a_, v_, 4)")
+        fact, page, no_cross = self._access_fact(4)
+        self._range_check(w, fact)
+        if page is not None:
+            w(f"    _P{self._fmt('<I')}(_pg{page}, a_ & 4095, v_)")
+        elif no_cross:
+            w("    p_ = _PG.get(a_ >> 12)")
+            w("    if p_ is None: p_ = _MP(a_ >> 12)")
+            w(f"    _P{self._fmt('<I')}(p_, a_ & 4095, v_)")
+        else:
+            w("    o_ = a_ & 4095")
+            w("    if o_ <= 4092:")
+            w("        p_ = _PG.get(a_ >> 12)")
+            w("        if p_ is None: p_ = _MP(a_ >> 12)")
+            w(f"        _P{self._fmt('<I')}(p_, o_, v_)")
+            w("    else:")
+            w("        _WI(a_, v_, 4)")
         w(f"    {self._wr(dst, is_int=True, dom=(4294967295, -1))} = v_")
         if pc >= 0:
             self._trace(w, pc, 4, True)
 
-    def _elem_expr(self, base, index, esize) -> str:
+    def _elem_expr(self, base: int, index: int, esize: int) -> str:
         scale = f" * {esize}" if esize != 1 else ""
         return (f"({self._rd(base)} + {self._rd_int(index)}{scale})"
                 f" & {_M32}")
 
-    def _off_expr(self, base, off) -> str:
+    def _off_expr(self, base: int, off: int) -> str:
         if off:
             return f"({self._rd(base)} + {off}) & {_M32}"
         if self._doms.get(base) == (4294967295, -1):
@@ -950,8 +1133,9 @@ class _Codegen:
             return self._rd(base)
         return f"{self._rd(base)} & {_M32}"
 
-    def _emit_ins(self, ins, pc, blk, rv, pcs, mk, fall,
-                  live_out) -> bool:
+    def _emit_ins(self, ins: _Ins, pc: int, blk: dict[int, int], rv: int,
+                  pcs: int, mk: int, fall: int,
+                  live_out: Sequence[int]) -> bool:
         """Emit one instruction into the current block; True if it was a
         terminator (emitted its own ``return``)."""
         w = self.lines.append

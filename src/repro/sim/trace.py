@@ -66,15 +66,17 @@ from __future__ import annotations
 import enum
 import io
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Iterator, Protocol, Union
+from typing import IO, Any, Iterable, Iterator, Protocol, Union
 
+_np: Any = None
+HAVE_NUMPY = False
 try:
-    import numpy as _np
-
-    HAVE_NUMPY = True
+    import numpy as _numpy
 except ImportError:  # pragma: no cover - numpy ships with the toolchain
-    _np = None
-    HAVE_NUMPY = False
+    pass
+else:
+    _np = _numpy
+    HAVE_NUMPY = True
 
 #: Base pc for user-code memory access sites.
 USER_PC_BASE = 0x400000
@@ -227,6 +229,9 @@ class CheckpointMap:
 #: Raw batched event tuples (see the module docstring).
 AccessTuple = tuple[int, int, int, bool]
 CheckpointTuple = tuple[int, int, int]
+#: The four parallel access columns (pcs, addrs, sizes, writes) as plain
+#: lists; ``writes`` carries 0/1 ints (or legacy bools) per access.
+_Columns = tuple[list[int], list[int], list[int], list[int]]
 
 
 class ColumnBlock:
@@ -243,14 +248,20 @@ class ColumnBlock:
 
     __slots__ = ("n", "checkpoints", "_flat", "_tuples", "_arr", "_lists")
 
-    def __init__(self, flat, checkpoints, tuples=None):
+    def __init__(self, flat: list[int] | None,
+                 checkpoints: list[CheckpointTuple],
+                 tuples: list[AccessTuple] | None = None) -> None:
         self._flat = flat
         self._tuples = tuples
         self.checkpoints: list[CheckpointTuple] = checkpoints
-        #: Number of accesses in the block.
-        self.n = (len(flat) >> 2) if flat is not None else len(tuples)
-        self._arr = None
-        self._lists = None
+        if flat is not None:
+            #: Number of accesses in the block.
+            self.n = len(flat) >> 2
+        else:
+            assert tuples is not None
+            self.n = len(tuples)
+        self._arr: Any = None
+        self._lists: _Columns | None = None
 
     @classmethod
     def from_flat(cls, flat: list[int],
@@ -270,7 +281,7 @@ class ColumnBlock:
 
     # -- columnar views ---------------------------------------------------
 
-    def _array(self):
+    def _array(self) -> Any:
         """The (n, 4) int64 matrix backing the column properties."""
         arr = self._arr
         if arr is None:
@@ -289,22 +300,22 @@ class ColumnBlock:
         return arr
 
     @property
-    def pc(self):
+    def pc(self) -> Any:
         return self._array()[:, 0]
 
     @property
-    def addr(self):
+    def addr(self) -> Any:
         return self._array()[:, 1]
 
     @property
-    def size(self):
+    def size(self) -> Any:
         return self._array()[:, 2]
 
     @property
-    def is_write(self):
+    def is_write(self) -> Any:
         return self._array()[:, 3]
 
-    def lists(self) -> tuple[list, list, list, list]:
+    def lists(self) -> _Columns:
         """``(pcs, addrs, sizes, writes)`` as plain Python lists.
 
         Values are native ints (``writes`` may be legacy bools when the
@@ -406,7 +417,11 @@ class TraceCollector:
     def emit(self, record: TraceRecord) -> None:
         self.records.append(record)
 
-    def emit_block(self, accesses, checkpoints) -> None:
+    def emit_block(
+        self,
+        accesses: list[AccessTuple],
+        checkpoints: list[CheckpointTuple],
+    ) -> None:
         self.records.extend(expand_block(accesses, checkpoints))
 
     def emit_columns(self, block: ColumnBlock) -> None:
@@ -428,7 +443,7 @@ class TraceCollector:
 class TraceWriter:
     """A sink that streams records to a text file in the paper's format."""
 
-    def __init__(self, stream: io.TextIOBase):
+    def __init__(self, stream: io.TextIOBase) -> None:
         self._stream = stream
 
     def emit(self, record: TraceRecord) -> None:
@@ -438,7 +453,11 @@ class TraceWriter:
             kind = "wr" if record.is_write else "rd"
             self._stream.write(f"Instr: {record.pc:x} addr: {record.addr:x} {kind}\n")
 
-    def emit_block(self, accesses, checkpoints) -> None:
+    def emit_block(
+        self,
+        accesses: list[AccessTuple],
+        checkpoints: list[CheckpointTuple],
+    ) -> None:
         # Text lines are written straight from the raw tuples; no record
         # objects are constructed on the flush path.
         write = self._stream.write

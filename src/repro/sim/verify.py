@@ -9,10 +9,19 @@ checks the bytecode *structurally*, per function:
   (``0 <= slot < n_slots``), derived from the same ``_READS``/``_WRITES``
   tables the fusion pass trusts for liveness;
 * every jump lands on an instruction boundary of the same function;
-* registers are defined before use: the backward liveness fixpoint's
-  live-in set at instruction 0 may contain only parameter slots
-  (frames are zero-filled, so a violation is not UB — but it means the
-  lowering lost an initialization, which trace parity can miss);
+* registers are defined before use: a forward must-analysis over the
+  basic-block CFG (:func:`repro.sim.dataflow.maybe_uninitialized_reads`)
+  flags every individual read a merge path can reach without a prior
+  definition (frames are zero-filled, so a violation is not UB — but it
+  means the lowering lost an initialization, which trace parity can
+  miss);
+* slot domains are consistent: a slot that definitely holds a float
+  must never flow into an operand position the dispatch loop masks
+  *without* an ``int()`` conversion (integer arithmetic operands,
+  pointer bases, access addresses) — there the raw ``&`` would raise at
+  runtime on exotic paths only;
+* every basic block is reachable from entry, except trivial epilogue
+  blocks (the auto-appended trailing return after a user ``return``);
 * fused superinstructions decode back to their constituent operations —
   element size, access width, struct format and synthetic pc must all be
   the values the unfused ``OP_ELEM + OP_LOAD/OP_STORE`` pair would carry,
@@ -35,6 +44,7 @@ from dataclasses import dataclass
 
 from repro.lang.stdlib import BUILTIN_SIGNATURES
 from repro.sim import bytecode as bc
+from repro.sim import dataflow
 from repro.sim.trace import (
     BODY_END_CODE,
     KIND_TO_CODE,
@@ -198,17 +208,15 @@ def verify_function(
                 flag(index, f"checkpoint {checkpoint_id} kind code "
                             f"{kind_code} != {KIND_TO_CODE[info.kind]}")
 
-    # Defined-before-use: at entry only parameter slots may be live.
+    # Semantic checks need a structurally valid function to build a CFG
+    # over, so they run only once the shape checks above are clean.
     if not findings and size:
-        live_entry = _entry_liveness(code)
-        allowed = 0
-        for param in fn.params:
-            allowed |= 1 << param.slot
-        rogue = live_entry & ~allowed
-        if rogue:
-            bad = [i for i in range(fn.n_slots) if rogue >> i & 1]
+        for index, slot in dataflow.maybe_uninitialized_reads(fn):
             findings.append(
-                f"{fn.name}: slots {bad} read before any definition")
+                f"{fn.name}[{index}]: slot {slot} may be read before "
+                "any definition on some path")
+        findings.extend(_domain_findings(fn))
+        findings.extend(_unreachable_findings(fn))
 
     # Instrumented body regions are in bounds and name body-end ids.
     for start, end, body_end_id in fn.body_regions:
@@ -223,51 +231,143 @@ def verify_function(
     return findings
 
 
-def _entry_liveness(code) -> int:
-    """Live-in register mask at instruction 0 (reuses the fusion tables)."""
-    n = len(code)
-    use = [0] * n
-    kill = [0] * n
-    succs: list[tuple[int, ...]] = []
-    for i, ins in enumerate(code):
-        op = ins[0]
-        if op == bc.OP_CALL or op == bc.OP_CALLB:
-            mask = 0
-            for slot in ins[3]:
-                mask |= 1 << slot
-            use[i] = mask
-            kill[i] = 1 << ins[1]
-        else:
-            mask = 0
-            for pos in bc._READS[op]:
-                mask |= 1 << ins[pos]
-            use[i] = mask
-            write = bc._WRITES.get(op)
-            if write is not None:
-                kill[i] = 1 << ins[write]
-        if op == bc.OP_JMP:
-            succs.append((ins[1],))
-        elif op == bc.OP_JZ or op == bc.OP_JNZ:
-            succs.append((i + 1, ins[2]))
-        elif op == bc.OP_BR:
-            succs.append((i + 1, ins[4]))
-        elif op == bc.OP_RET or op == bc.OP_RET0:
-            succs.append(())
-        else:
-            succs.append((i + 1,))
-    live_in = [0] * (n + 1)
-    changed = True
-    while changed:
-        changed = False
-        for i in range(n - 1, -1, -1):
-            out = 0
-            for successor in succs[i]:
-                out |= live_in[successor]
-            new = use[i] | (out & ~kill[i])
-            if new != live_in[i]:
-                live_in[i] = new
-                changed = True
-    return live_in[0]
+# -- slot-domain consistency (int vs float) ---------------------------------
+
+#: Opcodes whose destination definitely holds a float afterwards.
+_FLOAT_WRITERS = frozenset((
+    bc.OP_ADD_F, bc.OP_SUB_F, bc.OP_MUL_F, bc.OP_DIV_F, bc.OP_ADDK_F,
+    bc.OP_NEG_F, bc.OP_CONV_F, bc.OP_LOAD_F, bc.OP_LDELEM_F,
+    bc.OP_STORE_F, bc.OP_STELEM_F,
+))
+
+#: Operand positions per opcode where the dispatch loop applies a raw
+#: ``&`` (or page arithmetic) with no ``int()`` conversion: a definitely
+#: float-valued slot there is a latent TypeError. Positions mirror the
+#: handlers in :meth:`BytecodeVM._execute` and the specializer templates.
+_RAW_MASK_POSITIONS: dict[int, tuple[int, ...]] = {
+    bc.OP_ADD_I: (2, 3), bc.OP_SUB_I: (2, 3), bc.OP_MUL_I: (2, 3),
+    bc.OP_ADDK_I: (2,), bc.OP_NEG_I: (2,),
+    bc.OP_ELEM: (2,), bc.OP_ADD_P: (2,), bc.OP_MEMBOFF: (2,),
+    bc.OP_ADDK_P: (2,), bc.OP_SUB_PI: (2,),
+    bc.OP_LOAD_I: (2,), bc.OP_LOAD_F: (2,),
+    bc.OP_STORE_I: (1,), bc.OP_STORE_F: (1,), bc.OP_STORE_P: (1,),
+    bc.OP_LDELEM_I: (2,), bc.OP_LDELEM_F: (2,),
+    bc.OP_STELEM_I: (1,), bc.OP_STELEM_F: (1,), bc.OP_STELEM_P: (1,),
+    bc.OP_ZFILL: (1,), bc.OP_WBYTES: (1,),
+}
+
+#: Two bits per slot: INT (1) and/or FLOAT (2); 3 = either, 0 = unknown.
+_INT, _FLOAT = 1, 2
+
+
+def _domain_transfer(ins: tuple[object, ...], state: int) -> int:
+    op = ins[0]
+    assert isinstance(op, int)
+    if op == bc.OP_CALL or op == bc.OP_CALLB:
+        dst = ins[1]
+        assert isinstance(dst, int)
+        return state | (3 << (2 * dst))
+    write = bc._WRITES.get(op)
+    if write is None:
+        return state
+    dst = ins[write]
+    assert isinstance(dst, int)
+    shift = 2 * dst
+    if op == bc.OP_MOV:
+        src = ins[2]
+        assert isinstance(src, int)
+        bits = (state >> (2 * src)) & 3
+    elif op == bc.OP_CONST:
+        bits = _FLOAT if type(ins[2]) is float else _INT
+    elif op in _FLOAT_WRITERS:
+        bits = _FLOAT
+    else:
+        bits = _INT
+    return (state & ~(3 << shift)) | (bits << shift)
+
+
+def _domain_findings(fn: "bc.BytecodeFunction") -> list[str]:
+    """Definite-float slots flowing into raw-mask operand positions."""
+    cfg = dataflow.build_cfg(fn.code)
+    nb = len(cfg.blocks)
+    if not nb:
+        return []
+    # Entry: every slot is a zero-filled int; parameters refine by
+    # conversion tag (2 = float; an in-memory parameter's slot holds
+    # the spill address, which is an int).
+    entry = 0
+    for s in range(fn.n_slots):
+        entry |= _INT << (2 * s)
+    for spec in fn.params:
+        shift = 2 * spec.slot
+        if not spec.in_memory and spec.conv == 2:
+            entry = (entry & ~(3 << shift)) | (_FLOAT << shift)
+        elif not spec.in_memory and spec.conv == 0:
+            entry |= 3 << shift
+
+    def transfer(b: int, state: int) -> int:
+        block = cfg.blocks[b]
+        for i in range(block.start, block.end):
+            state = _domain_transfer(fn.code[i], state)
+        return state
+
+    inputs, _outputs = dataflow.solve(
+        nb, cfg.succs, forward=True, bottom=0, boundary=entry,
+        transfer=transfer, join=lambda a, b: a | b)
+
+    findings: list[str] = []
+    for block in cfg.blocks:
+        state = inputs[block.index]
+        if state == 0:  # unreachable; reported separately
+            continue
+        for i in range(block.start, block.end):
+            ins = fn.code[i]
+            op = ins[0]
+            assert isinstance(op, int)
+            for pos in _RAW_MASK_POSITIONS.get(op, ()):
+                slot = ins[pos]
+                assert isinstance(slot, int)
+                if (state >> (2 * slot)) & 3 == _FLOAT:
+                    findings.append(
+                        f"{fn.name}[{i}]: slot {slot} definitely holds "
+                        f"a float but feeds an int-masked operand of "
+                        f"opcode {op}")
+            state = _domain_transfer(ins, state)
+    return findings
+
+
+# -- unreachable blocks ------------------------------------------------------
+
+#: Opcodes allowed in an unreachable block without a finding: the
+#: lowering appends a trailing return after user code that already
+#: returned on every path, and fusion can strand such epilogues.
+_BENIGN_UNREACHABLE = frozenset((
+    bc.OP_RET, bc.OP_RET0, bc.OP_JMP, bc.OP_STEP, bc.OP_CKPT,
+))
+
+
+def _unreachable_findings(fn: "bc.BytecodeFunction") -> list[str]:
+    cfg = dataflow.build_cfg(fn.code)
+    if not cfg.blocks:
+        return []
+    seen = {0}
+    stack = [0]
+    while stack:
+        for succ in cfg.succs[stack.pop()]:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    findings: list[str] = []
+    for block in cfg.blocks:
+        if block.index in seen:
+            continue
+        ops = {fn.code[i][0] for i in range(block.start, block.end)}
+        if ops <= _BENIGN_UNREACHABLE:
+            continue
+        findings.append(
+            f"{fn.name}[{block.start}]: unreachable block "
+            f"[{block.start}, {block.end}) with effects")
+    return findings
 
 
 def verify_bytecode(

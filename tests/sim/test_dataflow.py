@@ -1,0 +1,257 @@
+"""Unit tests for the generic dataflow framework (repro.sim.dataflow).
+
+The framework is the foundation under three consumers — fusion liveness,
+guard elimination in the specializer, and the strengthened IR verifier —
+so these tests pin the analyses directly at the bytecode level:
+solver fixpoints, liveness equivalence with the naive per-instruction
+iteration, definite assignment, SCCP edge pruning, interval/access
+facts, the static global layout replay and loop trip counts.
+"""
+
+import pytest
+
+from repro.sim import bytecode as bc
+from repro.sim import dataflow as df
+from repro.sim.machine import compile_program, lower_compiled, run_compiled
+from repro.workloads.registry import MIBENCH_WORKLOADS
+
+
+def lower(source: str):
+    return lower_compiled(compile_program(source))
+
+
+LOOP_SRC = """
+int a[10];
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++) a[i] = i;
+    return a[3];
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Generic solver
+# ---------------------------------------------------------------------------
+
+
+class TestSolve:
+    def test_forward_join_over_diamond(self):
+        # 0 -> {1, 2} -> 3; node values accumulate their own index bit.
+        succs = [[1, 2], [3], [3], []]
+        inputs, outputs = df.solve(
+            4, succs, forward=True, bottom=0, boundary=0,
+            transfer=lambda n, v: v | (1 << n),
+            join=lambda a, b: a | b)
+        assert inputs[3] == (1 << 0) | (1 << 1) | (1 << 2)
+        assert outputs[3] == inputs[3] | (1 << 3)
+
+    def test_backward_transposes_edges(self):
+        succs = [[1], [2], []]
+        inputs, outputs = df.solve(
+            3, succs, forward=False, bottom=0, boundary=1 << 9,
+            transfer=lambda n, v: v | (1 << n),
+            join=lambda a, b: a | b)
+        # Boundary enters at the exit (node 2) and flows backwards.
+        assert inputs[0] == (1 << 9) | (1 << 2) | (1 << 1)
+
+    def test_must_analysis_intersects(self):
+        # Node 3 joins paths through 1 (defines bit 0) and 2 (nothing).
+        succs = [[1, 2], [3], [3], []]
+        inputs, _ = df.solve(
+            4, succs, forward=True, bottom=0b11, boundary=0,
+            transfer=lambda n, v: v | (0b1 if n == 1 else 0),
+            join=lambda a, b: a & b)
+        assert inputs[3] == 0
+
+
+# ---------------------------------------------------------------------------
+# Liveness: block-structured solve == naive per-instruction iteration
+# ---------------------------------------------------------------------------
+
+
+def naive_liveness(code):
+    n = len(code)
+    succs = [df._succ_indices(code, i) for i in range(n)]
+    use_kill = [df._use_kill(ins) for ins in code]
+    live_in = [0] * n
+    live_out = [0] * n
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = 0
+            for s in succs[i]:
+                out |= live_in[s]
+            use, wr = use_kill[i]
+            new_in = use | (out & ~wr)
+            if out != live_out[i] or new_in != live_in[i]:
+                live_out[i], live_in[i] = out, new_in
+                changed = True
+    return live_out
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("name", ["adpcm", "fft"])
+    def test_matches_naive_iteration_on_workloads(self, name):
+        program = lower(MIBENCH_WORKLOADS[name].source)
+        for fn in program.functions.values():
+            assert df.liveness(fn.code) == naive_liveness(fn.code)
+
+    def test_empty_code(self):
+        assert df.liveness(()) == []
+
+
+# ---------------------------------------------------------------------------
+# Definite assignment over hand-built IR
+# ---------------------------------------------------------------------------
+
+
+class TestDefiniteAssignment:
+    def test_branch_skips_definition(self):
+        # slot0 is a parameter; slot1 is defined only on the fallthrough
+        # path, then read after the merge.
+        code = (
+            (bc.OP_JZ, 0, 2),
+            (bc.OP_CONST, 1, 7),
+            (bc.OP_ADD_I, 2, 1, 1, 0xFFFFFFFF, 0x7FFFFFFF),
+            (bc.OP_RET0,),
+        )
+        fn = bc.BytecodeFunction(
+            "f", code=code, n_slots=3,
+            params=[bc.ParamSpec(slot=0, in_memory=False, ctype=None,
+                                 conv=1, mask=0xFFFFFFFF,
+                                 maxv=0x7FFFFFFF)])
+        reads = df.maybe_uninitialized_reads(fn)
+        assert (2, 1) in reads           # slot1 may bypass its CONST
+        assert all(slot != 0 for _, slot in reads)  # params are defined
+
+    def test_straight_line_is_clean(self):
+        code = (
+            (bc.OP_CONST, 0, 1),
+            (bc.OP_MOV, 1, 0),
+            (bc.OP_RET, 1),
+        )
+        fn = bc.BytecodeFunction("f", code=code, n_slots=2)
+        assert df.maybe_uninitialized_reads(fn) == []
+
+
+# ---------------------------------------------------------------------------
+# Sparse conditional constant propagation
+# ---------------------------------------------------------------------------
+
+
+class TestConstants:
+    def test_statically_dead_branch_is_unreached(self):
+        program = lower("""
+        int main(void) {
+            int x = 3;
+            if (x < 1) { return 7; }
+            return 0;
+        }
+        """)
+        facts = df.constants(program.functions["main"])
+        assert any(not facts.reachable(b.index)
+                   for b in facts.cfg.blocks)
+        # ... and the pruned edge is absent from the executable set.
+        reachable = {b.index for b in facts.cfg.blocks
+                     if facts.reachable(b.index)}
+        for src, dst in facts.executable_edges:
+            assert src in reachable and dst in reachable
+
+    def test_loop_body_is_reachable(self):
+        # The loop condition is not statically decided, so every block
+        # holding a store (the body) must stay reachable.
+        program = lower(LOOP_SRC)
+        fn = program.functions["main"]
+        facts = df.constants(fn)
+        for block in facts.cfg.blocks:
+            ops = {fn.code[i][0]
+                   for i in range(block.start, block.end)}
+            if ops & {bc.OP_STORE_I, bc.OP_STELEM_I}:
+                assert facts.reachable(block.index)
+
+
+# ---------------------------------------------------------------------------
+# Interval domain algebra
+# ---------------------------------------------------------------------------
+
+
+class TestAValAlgebra:
+    def test_join_widens_bounds_and_meets_congruence(self):
+        a = df._exact(4)
+        b = df._exact(8)
+        lo, hi, mod, rem = df.join_aval(a, b)
+        assert (lo, hi) == (4, 8)
+        assert mod == 4 and rem == 0     # gcd congruence survives
+
+    def test_add_and_scale(self):
+        stride = df.scale_aval((0, 9, 1, 0), 4)
+        assert stride == (0, 36, 4, 0)
+        based = df.add_aval(stride, df._exact(100))
+        assert based == (100, 136, 4, 0)
+
+    def test_wrap_keeps_in_domain_values(self):
+        aval = (0, 100, 1, 0)
+        assert df.wrap_aval(aval, 0xFFFFFFFF, 0x7FFFFFFF) == aval
+
+    def test_refine_cmp_lt(self):
+        refined = df.refine_cmp(bc.OP_LT, (0, 100, 1, 0),
+                                df._exact(10), True)
+        assert refined is not None
+        assert refined[0][1] == 9        # a < 10 caps hi at 9
+
+
+# ---------------------------------------------------------------------------
+# Access facts, layout replay and trip counts on a real program
+# ---------------------------------------------------------------------------
+
+
+class TestProgramFacts:
+    def test_affine_store_is_page_local(self):
+        # The specializer analyzes the *fused* code, where the governing
+        # branch (OP_BR) lets the interval analysis refine the induction
+        # variable on the body edge.
+        program = bc.fuse_program(lower(LOOP_SRC))
+        layout = df.static_global_layout(program)
+        fn = program.functions["main"]
+        facts = df.access_facts(fn, layout)
+        stores = [facts[i] for i, ins in enumerate(fn.code)
+                  if i in facts and ins[0] in (bc.OP_STORE_I,
+                                               bc.OP_STELEM_I)]
+        assert stores, "expected at least one analyzed store"
+        fact = stores[0]
+        base = layout[0]
+        assert (fact.lo, fact.hi) == (base, base + 36)
+        assert fact.mod == 4 and fact.size == 4
+        assert fact.page == base >> 12
+        assert fact.no_cross
+
+    def test_static_layout_matches_vm(self):
+        compiled = compile_program(LOOP_SRC)
+        program = lower_compiled(compiled)
+        result = run_compiled(compiled)
+        assert tuple(result.machine._global_addrs) == \
+            df.static_global_layout(program)
+
+    def test_loop_trip_count_bound(self):
+        # Trip counts read the governing fused branch (OP_BR), so they
+        # are computed over the fused twin like the specializer's facts.
+        compiled = compile_program(LOOP_SRC)
+        program = bc.fuse_program(lower_compiled(compiled))
+        counts = df.loop_trip_counts(program.functions["main"],
+                                     compiled.checkpoint_map)
+        assert 10 in counts.values()
+
+    def test_unbounded_loop_reports_none(self):
+        compiled = compile_program("""
+        int main(void) {
+            int i, n = 0;
+            for (i = 0; i != -1; i++) { n++; if (n > 3) break; }
+            return n;
+        }
+        """)
+        program = bc.fuse_program(lower_compiled(compiled))
+        counts = df.loop_trip_counts(program.functions["main"],
+                                     compiled.checkpoint_map)
+        assert counts and all(v is None or v >= 4 for v in counts.values())

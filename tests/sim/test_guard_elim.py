@@ -1,0 +1,136 @@
+"""Guard elimination must be observationally invisible.
+
+The interval analysis licenses the specializer to drop paged-dispatch
+guards (page-pinned access, no-cross fast path); a wrong fact would
+silently read or write the wrong page. These tests pin the safety
+story: byte-identical traces/stdout/stats against the fully checked
+specialization, the unfused dispatch loop and the AST reference
+interpreter — with ``REPRO_CHECK_RANGES=1`` (set by conftest) asserting
+every derived range at runtime on top.
+"""
+
+import pytest
+
+from repro.foray.filters import FilterConfig
+from repro.lang.errors import MiniCRuntimeError
+from repro.sim import bytecode as bc
+from repro.sim import dataflow as df
+from repro.sim.machine import EngineConfig, compile_program, run_compiled
+from repro.sim.specialize import get_specialization
+from repro.sim.trace import TraceCollector, format_trace
+from repro.workloads.figures import FIG1A, FIG9
+from repro.workloads.registry import MIBENCH_WORKLOADS
+
+CONFIGS = {
+    "guard_elim": EngineConfig(engine="bytecode", fusion=True,
+                               guard_elim=True),
+    "checked": EngineConfig(engine="bytecode", fusion=True,
+                            guard_elim=False),
+    "unfused": EngineConfig(engine="bytecode", fusion=False),
+    "ast": EngineConfig(engine="ast"),
+}
+
+
+def run_one(source: str, config: EngineConfig):
+    compiled = compile_program(source)
+    collector = TraceCollector()
+    result = run_compiled(compiled, sinks=(collector,), config=config)
+    return result, collector
+
+
+def assert_observationally_equal(source: str):
+    baseline_name, (baseline, baseline_trace) = None, (None, None)
+    for name, config in CONFIGS.items():
+        result, trace = run_one(source, config)
+        if baseline is None:
+            baseline_name, baseline, baseline_trace = name, result, trace
+            continue
+        label = f"{name} vs {baseline_name}"
+        assert result.exit_code == baseline.exit_code, label
+        assert result.stdout == baseline.stdout, label
+        assert result.stats.steps == baseline.stats.steps, label
+        assert result.stats.calls == baseline.stats.calls, label
+        assert format_trace(trace.records) == \
+            format_trace(baseline_trace.records), label
+
+
+@pytest.mark.parametrize("name", ["adpcm", "mpeg2"])
+def test_workload_parity_all_execution_modes(name):
+    assert_observationally_equal(MIBENCH_WORKLOADS[name].source)
+
+
+@pytest.mark.parametrize("workload", [FIG1A, FIG9],
+                         ids=lambda w: w.name)
+def test_figure_parity_all_execution_modes(workload):
+    assert_observationally_equal(workload.source)
+
+
+def test_cross_page_access_parity():
+    # A pointer-cast store straddling the 4 KiB page boundary exercises
+    # the one case guard elimination must never mispredict.
+    assert_observationally_equal("""
+    char buf[8192];
+    int main(void) {
+        int i;
+        for (i = 0; i < 8192; i += 1021) {
+            *(int *)&buf[i] = i * 3 + 7;
+        }
+        return *(int *)&buf[4094];
+    }
+    """)
+
+
+class TestSpecializationMetadata:
+    SRC = """
+    int a[64];
+    int main(void) {
+        int i;
+        for (i = 0; i < 64; i++) a[i] = 2 * i;
+        return a[10];
+    }
+    """
+
+    def _lowered(self):
+        compiled = compile_program(self.SRC)
+        from repro.sim.machine import lower_compiled
+        return lower_compiled(compiled)
+
+    def test_guard_elim_pins_pages_and_layout(self):
+        program = self._lowered()
+        spec = get_specialization(program, guard_elim=True)
+        assert spec.layout == df.static_global_layout(program)
+        assert spec.pages, "expected page-pinned accesses"
+        checked = get_specialization(program, guard_elim=False)
+        assert checked.pages == () and checked.layout == ()
+
+    def test_specializations_cached_per_mode(self):
+        program = self._lowered()
+        assert get_specialization(program, guard_elim=True) is \
+            get_specialization(program, guard_elim=True)
+        assert get_specialization(program, guard_elim=True) is not \
+            get_specialization(program, guard_elim=False)
+
+    def test_bind_rejects_layout_mismatch(self):
+        import dataclasses
+
+        program = self._lowered()
+        vm = bc.BytecodeVM(program)
+        vm.run()  # lays out globals
+        spec = get_specialization(program, guard_elim=True)
+        wrong = dataclasses.replace(
+            spec, layout=tuple(a + 4096 for a in spec.layout))
+        with pytest.raises(MiniCRuntimeError, match="layout"):
+            wrong.bind(vm)
+
+
+def test_range_check_mode_is_separate_cache_key(monkeypatch):
+    compiled = compile_program(TestSpecializationMetadata.SRC)
+    from repro.sim.machine import lower_compiled
+    program = lower_compiled(compiled)
+    monkeypatch.setenv("REPRO_CHECK_RANGES", "0")
+    plain = get_specialization(program, guard_elim=True)
+    monkeypatch.setenv("REPRO_CHECK_RANGES", "1")
+    checked = get_specialization(program, guard_elim=True)
+    assert plain is not checked
+    assert "interval fact violated" in checked.source
+    assert "interval fact violated" not in plain.source
