@@ -260,3 +260,56 @@ def hier_payload(results: list[HierarchyReport]) -> dict:
         "command": "hier",
         "cells": [hier_row(report) for report in results],
     }
+
+
+def fuzz_outcome_row(outcome) -> dict:
+    """One generated program's check battery
+    (a :class:`repro.gen.fuzz.ProgramOutcome`)."""
+    return {
+        "spec": outcome.spec,
+        "profile": outcome.profile,
+        "seed": outcome.seed,
+        "status": outcome.status,
+        "source_lines": outcome.source_lines,
+        "transfer_accuracy": (
+            None if outcome.transfer_accuracy is None
+            else _finite(outcome.transfer_accuracy)),
+        "cached": outcome.cached,
+        "checks": [
+            {"name": check.name, "status": check.status,
+             "detail": check.detail}
+            for check in outcome.checks
+        ],
+        "failing_check": outcome.failing_check or None,
+        "shrunk_lines": outcome.shrunk_lines if outcome.shrunk_source
+        else None,
+        "shrunk_source": outcome.shrunk_source or None,
+        "error": outcome.error or None,
+    }
+
+
+def gen_payload(report) -> dict:
+    """One population fuzzing run (a :class:`repro.gen.fuzz.FuzzReport`).
+
+    Failing programs carry their minimized source inline, but the seed
+    plus profile alone replays them — generation, rendering and the
+    shrink walk are all deterministic.
+    """
+    transfer = report.transfer_stats()
+    return {
+        "command": "gen",
+        "profile": report.profile,
+        "checks": list(report.checks),
+        "total": report.total,
+        "passed": report.total - len(report.failures) - len(report.errors),
+        "failed": len(report.failures),
+        "errored": len(report.errors),
+        "ok": report.ok,
+        "check_counts": report.check_counts(),
+        "transfer": None if transfer is None else {
+            "measured": transfer[0],
+            "min_accuracy": _finite(transfer[1]),
+            "mean_accuracy": _finite(transfer[2]),
+        },
+        "programs": [fuzz_outcome_row(o) for o in report.outcomes],
+    }

@@ -283,6 +283,49 @@ def format_static_table(reports) -> str:
     )
 
 
+def format_fuzz_summary(report) -> str:
+    """Population summary of one fuzzing run
+    (a :class:`repro.gen.fuzz.FuzzReport`): the per-check pass/fail/skip
+    census, the cross-input accuracy statistic, and a triage block per
+    failing program (seed, failing check, minimized reproducer)."""
+    cached = sum(1 for outcome in report.outcomes if outcome.cached)
+    lines = [
+        f"fuzz: profile={report.profile} programs={report.total} "
+        f"failures={len(report.failures)} errors={len(report.errors)}"
+        + (f" (cached: {cached})" if cached else "")
+    ]
+    counts = report.check_counts()
+    body = [
+        [name, str(tally.get("pass", 0)), str(tally.get("fail", 0)),
+         str(tally.get("skip", 0))]
+        for name, tally in counts.items()
+    ]
+    lines.append(_table(["check", "pass", "fail", "skip"], body))
+    transfer = report.transfer_stats()
+    if transfer is not None:
+        measured, lowest, mean = transfer
+        lines.append(
+            f"cross-input accuracy: mean {mean:.4f}, min {lowest:.4f} "
+            f"over {measured} measured program(s)")
+    for outcome in report.failures:
+        failing = next((check for check in outcome.checks
+                        if check.name == outcome.failing_check), None)
+        detail = f": {failing.detail}" if failing and failing.detail else ""
+        lines.append(f"FAIL {outcome.spec} [{outcome.failing_check}]{detail}")
+        lines.append(
+            f"  replay: repro gen --profile {outcome.profile} "
+            f"--seed-start {outcome.seed} --seeds 1")
+        if outcome.shrunk_source:
+            lines.append(
+                f"  minimized reproducer ({outcome.shrunk_lines} lines, "
+                f"from {outcome.source_lines}):")
+            lines.extend("  | " + text
+                         for text in outcome.shrunk_source.splitlines())
+    for outcome in report.errors:
+        lines.append(f"ERROR {outcome.spec}: {outcome.error}")
+    return "\n".join(lines)
+
+
 def summarize_headline(rows: list[ForayFormCoverage]) -> str:
     """The paper's headline metric: average improvement in analyzable refs."""
     finite = [r.improvement_ratio for r in rows if r.improvement_ratio != float("inf")]

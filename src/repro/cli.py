@@ -29,6 +29,21 @@ Commands
     guard elimination. Stable rule codes (L1xx errors, L2xx warnings),
     ``--json`` payload, non-zero exit on any error-severity finding.
 
+``gen [--seeds N --profile SIZE --check NAME,... --jobs K]``
+    Population-scale differential fuzzing: generate ``--seeds``
+    consecutive seeded MiniC programs (``--profile small|medium|large``
+    sets the size envelope) and run the differential check battery on
+    each — engine parity, IR verification, lint, static-oracle
+    agreement, allocator dominance, SPM traffic prediction, cross-input
+    transfer. Failing programs are minimized by the subtree-deletion
+    shrinker and reported with their replayable seed. ``--check``
+    restricts the battery (the hidden ``seeded-bug`` check plants a
+    static-model corruption to prove the harness catches divergence);
+    ``--json`` emits the strict-JSON report. Exits non-zero on any
+    check failure or harness error. Generated programs are also
+    addressable as ``gen:<profile>:<seed>`` by every workload-resolving
+    command.
+
 ``figures``
     Reproduce all paper figure examples.
 
@@ -103,6 +118,7 @@ import sys
 
 from repro.analysis import jsonout
 from repro.analysis.report import (
+    format_fuzz_summary,
     format_hier_table,
     format_spm_frontier,
     format_stability_table,
@@ -590,6 +606,43 @@ def cmd_lint(args) -> int:
     return 1 if any(report.error_count for report in reports) else 0
 
 
+def _checks_from(args) -> tuple[str, ...]:
+    """``--check`` values, repeatable and comma-splittable; the full
+    battery when none given. Unknown names are rejected by the harness
+    with the known list."""
+    from repro.gen.fuzz import FUZZ_CHECKS
+
+    if not args.check:
+        return FUZZ_CHECKS
+    return tuple(
+        part.strip()
+        for value in args.check
+        for part in value.split(",") if part.strip()
+    )
+
+
+def cmd_gen(args) -> int:
+    from repro.gen.fuzz import run_fuzz
+
+    config = _config_from(args)
+    store = store_for(config)
+    before = store.aggregate_counters() if store else None
+    try:
+        report = run_fuzz(
+            args.gen_profile, seeds=args.seeds, seed_start=args.seed_start,
+            checks=_checks_from(args), jobs=args.jobs,
+            shrink=not args.no_shrink, config=config)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        raise SystemExit(f"gen: {message}") from None
+    if args.json:
+        print(json.dumps(jsonout.gen_payload(report), indent=2))
+    else:
+        print(format_fuzz_summary(report))
+    _report_cache_counters(config, before)
+    return 0 if report.ok else 1
+
+
 def cmd_figures(args) -> int:
     relaxed = FilterConfig(nexec=1, nloc=1)
     for name, workload in FIGURE_WORKLOADS.items():
@@ -707,6 +760,32 @@ def build_parser() -> argparse.ArgumentParser:
                              "registered workloads (repeatable)")
     _add_json_arg(p_lint)
     p_lint.set_defaults(func=cmd_lint)
+
+    p_gen = sub.add_parser(
+        "gen", help="seeded program generation + differential fuzzing")
+    p_gen.add_argument("--seeds", type=int, default=100,
+                       help="number of consecutive seeds to fuzz "
+                            "(default: %(default)s)")
+    p_gen.add_argument("--seed-start", type=int, default=0, metavar="N",
+                       help="first seed of the range (default: %(default)s)")
+    p_gen.add_argument("--profile", dest="gen_profile", default="small",
+                       metavar="SIZE",
+                       help="generator size profile: small, medium or "
+                            "large (default: %(default)s)")
+    p_gen.add_argument("--check", action="append", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="run only these checks (repeatable; default: "
+                            "parity, ir, lint, static, alloc, traffic, "
+                            "transfer)")
+    p_gen.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the seed range "
+                            "(0 = CPU count; default: serial)")
+    p_gen.add_argument("--no-shrink", action="store_true",
+                       help="report failures without minimizing them")
+    _add_filter_args(p_gen)
+    _add_engine_args(p_gen)
+    _add_json_arg(p_gen)
+    p_gen.set_defaults(func=cmd_gen)
 
     p_figures = sub.add_parser("figures", help="reproduce the paper figures")
     p_figures.set_defaults(func=cmd_figures)

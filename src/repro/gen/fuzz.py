@@ -1,0 +1,544 @@
+"""Population-scale differential fuzzing over generated programs.
+
+Every invariant the repo asserts on its seven hand-written workloads is
+re-asserted here on ``--seeds N`` generated programs, per program:
+
+``parity``
+    Guard-eliminated, fully-checked, unfused and AST engines must agree
+    byte-for-byte on exit code, stdout, step/call counts and the
+    formatted trace.
+``ir``
+    The structural bytecode verifier accepts the lowered + fused forms.
+``lint``
+    No error-severity linter findings; warnings are recorded as triage
+    notes, not failures.
+``static``
+    The compile-time FORAY model agrees with the dynamic extraction on
+    every modeled reference (contextual refusals count as the known
+    FORAY gap, not disagreement).
+``alloc``
+    DP allocation benefit dominates both greedy policies at every
+    capacity rung.
+``traffic``
+    Replaying the SPM-transformed program drops exactly the predicted
+    main-memory traffic.
+``transfer``
+    The model extracted on the nominal input self-validates perfectly;
+    cross-input replay accuracy is recorded as a population statistic.
+
+A check that is vacuous for a given program (empty model after the
+purge, nothing buffered) reports ``skip`` with a reason — never a
+silent pass. Failing programs are minimized by the subtree-deletion
+shrinker and reported with their seed, so every crash is replayable
+from ``(profile, seed)`` alone.
+
+The hidden ``seeded-bug`` check deliberately corrupts the static model
+before the oracle comparison; it exists so the harness can prove it
+would catch, shrink and report a real VM/static divergence.
+
+Outcomes are cached in the ``fuzz`` store namespace keyed by the
+generated source (which embeds generator version + profile + seed) and
+the check/engine configuration, so warm reruns skip satisfied cells and
+can never serve results across generator changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.foray.extractor import extract_from_source
+from repro.gen.build import GenProgram, build_ir, gen_name
+from repro.gen.profiles import get_profile
+from repro.gen.render import RenderedProgram, render_ir
+from repro.gen.shrink import shrink_ir
+from repro.lang.lint import lint_source
+from repro.pipeline import (
+    PipelineConfig,
+    _content_key,
+    _fan_out,
+    _tiered_get,
+    _tiered_put,
+    fuzz_cache,
+    persist_store_counters,
+)
+from repro.sim.machine import EngineConfig, compile_program, run_compiled
+from repro.sim.memory import GLOBAL_BASE, HEAP_BASE
+from repro.sim.trace import TraceCollector, format_trace
+from repro.sim.verify import verify_compiled
+from repro.spm.allocator import allocate_graph
+from repro.spm.graph import ReuseGraph
+from repro.spm.transform import emit_replay_source, emit_transformed_source
+from repro.staticfar.analyze import analyze_static
+from repro.staticfar.detector import detect
+from repro.staticfar.oracle import compare_models
+
+#: The default check battery, in execution order.
+FUZZ_CHECKS = ("parity", "ir", "lint", "static", "alloc", "traffic",
+               "transfer")
+
+#: Deliberate-divergence check (never in the default set): corrupts the
+#: static model, then demands the oracle notice.
+SEEDED_BUG_CHECK = "seeded-bug"
+
+KNOWN_CHECKS = FUZZ_CHECKS + (SEEDED_BUG_CHECK,)
+
+#: Engine configurations whose observable behaviour must be identical.
+PARITY_CONFIGS = (
+    ("guard_elim", EngineConfig(engine="bytecode", fusion=True,
+                                guard_elim=True)),
+    ("checked", EngineConfig(engine="bytecode", fusion=True,
+                             guard_elim=False)),
+    ("unfused", EngineConfig(engine="bytecode", fusion=False)),
+    ("ast", EngineConfig(engine="ast")),
+)
+
+#: SPM capacity rungs for the allocator-dominance check.
+ALLOC_CAPACITIES = (256, 1024, 4096)
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One check on one program."""
+
+    name: str
+    status: str  # "pass" | "fail" | "skip"
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ProgramOutcome:
+    """The full battery on one generated program."""
+
+    spec: str
+    profile: str
+    seed: int
+    status: str  # "pass" | "fail" | "error"
+    checks: tuple[CheckOutcome, ...] = ()
+    source_lines: int = 0
+    #: Mean cross-input replay accuracy (None when transfer skipped).
+    transfer_accuracy: float | None = None
+    #: Name of the first failing check (shrink target).
+    failing_check: str = ""
+    #: Minimized reproducer (failures only; replayable from the seed).
+    shrunk_source: str = ""
+    shrunk_lines: int = 0
+    #: Generation/harness crash detail (status == "error").
+    error: str = ""
+    #: Served from the fuzz store namespace on a warm rerun.
+    cached: bool = False
+
+
+@dataclass
+class FuzzReport:
+    """One fuzzing run over a seed range."""
+
+    profile: str
+    checks: tuple[str, ...]
+    outcomes: list[ProgramOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> list[ProgramOutcome]:
+        return [o for o in self.outcomes if o.status == "fail"]
+
+    @property
+    def errors(self) -> list[ProgramOutcome]:
+        return [o for o in self.outcomes if o.status == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.errors
+
+    def check_counts(self) -> dict[str, dict[str, int]]:
+        """``{check: {pass: n, fail: n, skip: n}}`` over the population."""
+        counts: dict[str, dict[str, int]] = {
+            name: {"pass": 0, "fail": 0, "skip": 0} for name in self.checks
+        }
+        for outcome in self.outcomes:
+            for check in outcome.checks:
+                bucket = counts.setdefault(
+                    check.name, {"pass": 0, "fail": 0, "skip": 0})
+                bucket[check.status] = bucket.get(check.status, 0) + 1
+        return counts
+
+    def transfer_stats(self) -> tuple[int, float, float] | None:
+        """(measured programs, min, mean) of cross-input accuracy."""
+        values = [o.transfer_accuracy for o in self.outcomes
+                  if o.transfer_accuracy is not None]
+        if not values:
+            return None
+        return len(values), min(values), sum(values) / len(values)
+
+
+class _CheckContext:
+    """Shared per-program artifacts, computed lazily and at most once."""
+
+    def __init__(self, rendered: RenderedProgram):
+        self.rendered = rendered
+        self.source = rendered.workload.source
+        self._compiled = None
+        self._extraction = None
+        self._graph = None
+
+    @property
+    def compiled(self):
+        if self._compiled is None:
+            self._compiled = compile_program(self.source)
+        return self._compiled
+
+    @property
+    def extraction(self):
+        """(model, detector result, compiled-with-checkpoints)."""
+        if self._extraction is None:
+            model, _, compiled = extract_from_source(self.source)
+            self._extraction = (model, detect(compiled.program), compiled)
+        return self._extraction
+
+    @property
+    def graph(self) -> ReuseGraph:
+        if self._graph is None:
+            self._graph = ReuseGraph.from_model(self.extraction[0])
+        return self._graph
+
+
+class _GlobalTrafficCounter:
+    """Trace sink counting accesses in the global (main-memory) range."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit_block(self, accesses, checkpoints) -> None:
+        for _pc, addr, _size, _is_write in accesses:
+            if GLOBAL_BASE <= addr < HEAP_BASE:
+                self.count += 1
+
+    def emit(self, record) -> None:  # pragma: no cover - block protocol
+        addr = getattr(record, "addr", None)
+        if addr is not None and GLOBAL_BASE <= addr < HEAP_BASE:
+            self.count += 1
+
+
+def _check_parity(ctx: _CheckContext) -> CheckOutcome:
+    baseline_name = baseline = None
+    for name, config in PARITY_CONFIGS:
+        collector = TraceCollector()
+        result = run_compiled(ctx.compiled, sinks=(collector,),
+                              config=config)
+        signature = (result.exit_code, result.stdout, result.stats.steps,
+                     result.stats.calls, format_trace(collector.records))
+        if baseline is None:
+            baseline_name, baseline = name, signature
+        elif signature != baseline:
+            fields = ("exit_code", "stdout", "steps", "calls", "trace")
+            diverged = [f for f, a, b in zip(fields, signature, baseline)
+                        if a != b]
+            return CheckOutcome(
+                "parity", "fail",
+                f"{name} diverges from {baseline_name} on "
+                f"{', '.join(diverged)}")
+    return CheckOutcome("parity", "pass")
+
+
+def _check_ir(ctx: _CheckContext) -> CheckOutcome:
+    try:
+        stats = verify_compiled(ctx.compiled, raise_on_error=True)
+    except Exception as error:
+        return CheckOutcome("ir", "fail", str(error)[:300])
+    return CheckOutcome(
+        "ir", "pass", f"{stats.fused_instructions} fused instructions")
+
+
+def _check_lint(ctx: _CheckContext) -> CheckOutcome:
+    findings = lint_source(ctx.source, filename=ctx.rendered.workload.name)
+    errors = [f for f in findings if f.severity == "error"]
+    if errors:
+        return CheckOutcome(
+            "lint", "fail",
+            "; ".join(str(f) for f in errors[:3])[:300])
+    if findings:
+        return CheckOutcome(
+            "lint", "pass", f"{len(findings)} warnings triaged")
+    return CheckOutcome("lint", "pass")
+
+
+def _static_report(ctx: _CheckContext, corrupt: bool = False):
+    model, detector, compiled = ctx.extraction
+    static = analyze_static(compiled.program, detector_result=detector,
+                            name=ctx.rendered.workload.name)
+    if corrupt:
+        refs = list(static.unfiltered_references)
+        if not refs:
+            return None
+        refs[0] = dataclasses.replace(refs[0],
+                                      exec_count=refs[0].exec_count + 1)
+        static = dataclasses.replace(static, unfiltered_references=refs)
+    return compare_models(model, static, detector=detector,
+                          name=ctx.rendered.workload.name)
+
+
+def _check_static(ctx: _CheckContext) -> CheckOutcome:
+    report = _static_report(ctx)
+    if report.ok:
+        gap = len(report.foray_gap)
+        detail = (f"{report.matched} matched"
+                  + (f", {gap} contextual refusals" if gap else ""))
+        return CheckOutcome("static", "pass", detail)
+    return CheckOutcome("static", "fail",
+                        "; ".join(report.diff_lines()[:3])[:400])
+
+
+def _check_seeded_bug(ctx: _CheckContext) -> CheckOutcome:
+    """Corrupt one static exec count: the oracle MUST flag it. This
+    check therefore *fails* on healthy programs with modeled refs — it
+    exists to prove the harness catches and shrinks real divergence."""
+    report = _static_report(ctx, corrupt=True)
+    if report is None:
+        return CheckOutcome(SEEDED_BUG_CHECK, "skip",
+                            "no static references to corrupt")
+    if report.ok:
+        return CheckOutcome(
+            SEEDED_BUG_CHECK, "skip",
+            "corrupted reference not among matched refs")
+    return CheckOutcome(
+        SEEDED_BUG_CHECK, "fail",
+        "seeded static/dynamic mismatch detected (intentional): "
+        + "; ".join(report.diff_lines()[:1])[:200])
+
+
+def _check_alloc(ctx: _CheckContext) -> CheckOutcome:
+    graph = ctx.graph
+    if not graph.nodes:
+        return CheckOutcome("alloc", "skip", "no buffer candidates")
+    for capacity in ALLOC_CAPACITIES:
+        dp = allocate_graph(graph, capacity, "dp").total_benefit_nj
+        for policy in ("greedy", "greedy-benefit"):
+            benefit = allocate_graph(graph, capacity,
+                                     policy).total_benefit_nj
+            if dp < benefit - 1e-9:
+                return CheckOutcome(
+                    "alloc", "fail",
+                    f"dp benefit {dp:.3f} < {policy} {benefit:.3f} "
+                    f"at {capacity} B")
+    return CheckOutcome("alloc", "pass",
+                        f"{len(graph.nodes)} candidate nodes")
+
+
+def _check_traffic(ctx: _CheckContext) -> CheckOutcome:
+    model = ctx.extraction[0]
+    allocation = allocate_graph(ctx.graph, ALLOC_CAPACITIES[-1])
+    transformed = emit_transformed_source(allocation, model)
+    if not transformed.buffered:
+        return CheckOutcome("traffic", "skip", "nothing buffered")
+    counts = []
+    for source in (emit_replay_source(model), transformed.source):
+        counter = _GlobalTrafficCounter()
+        run_compiled(compile_program(source), sinks=(counter,),
+                     config=EngineConfig())
+        counts.append(counter.count)
+    drop = counts[0] - counts[1]
+    if drop != transformed.predicted_drop:
+        return CheckOutcome(
+            "traffic", "fail",
+            f"measured drop {drop} != predicted "
+            f"{transformed.predicted_drop}")
+    return CheckOutcome("traffic", "pass", f"drop {drop} as predicted")
+
+
+def _check_transfer(ctx: _CheckContext,
+                    config: PipelineConfig) -> CheckOutcome:
+    from repro.pipeline import validate_workload
+
+    validation = validate_workload(ctx.rendered.workload.name,
+                                   config=config)
+    self_validation = validation.self_validation
+    if self_validation.total_checked == 0:
+        return CheckOutcome("transfer", "skip",
+                            "model empty after the purge")
+    if self_validation.full_accuracy != 1.0:
+        return CheckOutcome(
+            "transfer", "fail",
+            f"self-validation full accuracy "
+            f"{self_validation.full_accuracy:.4f} != 1.0")
+    measured = [cell for cell in validation.cross
+                if cell.report.total_checked > 0]
+    if not measured:
+        return CheckOutcome(
+            "transfer", "pass",
+            "self-validation exact; replays vacuous (accuracy "
+            "unmeasured)")
+    mean = (sum(c.report.overall_accuracy for c in measured)
+            / len(measured))
+    return CheckOutcome(
+        "transfer", "pass",
+        f"cross accuracy mean {mean:.4f} over {len(measured)} replays")
+
+
+def _run_check(name: str, ctx: _CheckContext,
+               config: PipelineConfig) -> CheckOutcome:
+    if name == "parity":
+        return _check_parity(ctx)
+    if name == "ir":
+        return _check_ir(ctx)
+    if name == "lint":
+        return _check_lint(ctx)
+    if name == "static":
+        return _check_static(ctx)
+    if name == "alloc":
+        return _check_alloc(ctx)
+    if name == "traffic":
+        return _check_traffic(ctx)
+    if name == "transfer":
+        return _check_transfer(ctx, config)
+    if name == SEEDED_BUG_CHECK:
+        return _check_seeded_bug(ctx)
+    raise ValueError(
+        f"unknown fuzz check {name!r}; known: {', '.join(KNOWN_CHECKS)}")
+
+
+def _transfer_accuracy(outcome: CheckOutcome) -> float | None:
+    if outcome.name != "transfer" or outcome.status != "pass":
+        return None
+    marker = "cross accuracy mean "
+    if marker not in outcome.detail:
+        return None
+    try:
+        return float(outcome.detail[len(marker):].split()[0])
+    except ValueError:  # pragma: no cover - formatting is ours
+        return None
+
+
+def _fuzz_key(template: str, checks: tuple[str, ...], shrink: bool,
+              config: PipelineConfig) -> str:
+    # The template embeds the generator version + profile + seed (the
+    # source header), so one key can never span generator revisions.
+    return _content_key(
+        "fuzz", template, checks, shrink, config.engine, config.fusion,
+        config.trace_block, config.filter_config, config.max_steps)
+
+
+def fuzz_program(
+    profile_name: str,
+    seed: int,
+    checks: tuple[str, ...] = FUZZ_CHECKS,
+    shrink: bool = True,
+    config: PipelineConfig | None = None,
+) -> ProgramOutcome:
+    """Generate one program and run the differential battery on it."""
+    config = config or PipelineConfig()
+    for check in checks:
+        if check not in KNOWN_CHECKS:
+            raise ValueError(f"unknown fuzz check {check!r}; known: "
+                             f"{', '.join(KNOWN_CHECKS)}")
+    spec = gen_name(profile_name, seed)
+    profile = get_profile(profile_name)
+    try:
+        ir = build_ir(seed, profile)
+        rendered = render_ir(ir, profile)
+    except Exception as error:
+        return ProgramOutcome(
+            spec=spec, profile=profile_name, seed=seed, status="error",
+            error=f"generation failed: {type(error).__name__}: "
+                  f"{str(error)[:300]}")
+
+    template = rendered.workload.source_template or rendered.workload.source
+    key = _fuzz_key(template, checks, shrink, config)
+    if config.cache:
+        cached = _tiered_get(fuzz_cache, key, config)
+        if cached is not None:
+            return dataclasses.replace(cached, cached=True)
+
+    outcome = _fuzz_rendered(spec, profile_name, seed, ir, rendered,
+                             checks, shrink, config)
+    if config.cache:
+        _tiered_put(fuzz_cache, key, outcome, config)
+    return outcome
+
+
+def _fuzz_rendered(
+    spec: str,
+    profile_name: str,
+    seed: int,
+    ir: GenProgram,
+    rendered: RenderedProgram,
+    checks: tuple[str, ...],
+    shrink: bool,
+    config: PipelineConfig,
+) -> ProgramOutcome:
+    ctx = _CheckContext(rendered)
+    results: list[CheckOutcome] = []
+    transfer = None
+    try:
+        for name in checks:
+            result = _run_check(name, ctx, config)
+            results.append(result)
+            if transfer is None:
+                transfer = _transfer_accuracy(result)
+    except Exception as error:
+        return ProgramOutcome(
+            spec=spec, profile=profile_name, seed=seed, status="error",
+            checks=tuple(results),
+            source_lines=rendered.workload.source.count("\n"),
+            error=f"harness crash in check: {type(error).__name__}: "
+                  f"{str(error)[:300]}")
+
+    failing = next((r for r in results if r.status == "fail"), None)
+    source_lines = rendered.workload.source.count("\n")
+    if failing is None:
+        return ProgramOutcome(
+            spec=spec, profile=profile_name, seed=seed, status="pass",
+            checks=tuple(results), source_lines=source_lines,
+            transfer_accuracy=transfer)
+
+    shrunk_source = ""
+    shrunk_lines = 0
+    if shrink:
+        def still_fails(candidate: RenderedProgram) -> bool:
+            return _run_check(failing.name, _CheckContext(candidate),
+                              config).status == "fail"
+
+        result = shrink_ir(ir, still_fails)
+        shrunk_source = result.source
+        shrunk_lines = shrunk_source.count("\n")
+    return ProgramOutcome(
+        spec=spec, profile=profile_name, seed=seed, status="fail",
+        checks=tuple(results), source_lines=source_lines,
+        transfer_accuracy=transfer, failing_check=failing.name,
+        shrunk_source=shrunk_source, shrunk_lines=shrunk_lines)
+
+
+def _fuzz_worker(args) -> ProgramOutcome:
+    profile_name, seed, checks, shrink, config = args
+    outcome = fuzz_program(profile_name, seed, checks, shrink, config)
+    # Worker processes exit via os._exit (no atexit): flush this
+    # process's disk-cache counters before the pool reaps it.
+    persist_store_counters(config)
+    return outcome
+
+
+def run_fuzz(
+    profile_name: str = "small",
+    seeds: int = 100,
+    seed_start: int = 0,
+    checks: tuple[str, ...] = FUZZ_CHECKS,
+    jobs: int | None = None,
+    shrink: bool = True,
+    config: PipelineConfig | None = None,
+) -> FuzzReport:
+    """Fuzz ``seeds`` consecutive programs of one profile.
+
+    ``jobs`` fans programs out over worker processes through the same
+    machinery ``run_suite`` uses (0 = CPU count, None = ``config.jobs``).
+    """
+    config = config or PipelineConfig()
+    get_profile(profile_name)  # helpful error before any work
+    if jobs is None:
+        jobs = config.jobs
+    tasks = [(profile_name, seed, tuple(checks), shrink, config)
+             for seed in range(seed_start, seed_start + seeds)]
+    outcomes = _fan_out(tasks, _fuzz_worker, jobs)
+    return FuzzReport(profile=profile_name, checks=tuple(checks),
+                      outcomes=outcomes)

@@ -1,0 +1,146 @@
+"""Generation profiles: the grammar knobs of the seeded program builder.
+
+A :class:`GenProfile` bounds every dimension the grammar can explore —
+loop-nest depth, trip counts and strides, affine coefficient and
+constant ranges, array/helper counts, branch/call/reduction
+probabilities and the total access budget — so one profile name pins
+down an entire program *population* (``gen:<profile>:<seed>``). The
+three stock profiles scale the same grammar:
+
+* ``small``  — CI-sized programs (a few thousand traced accesses);
+* ``medium`` — workload-sized nests, deeper and wider;
+* ``large``  — stress-sized populations for overnight fuzzing runs.
+
+:data:`GENERATOR_VERSION` is stamped into every generated source header
+(and therefore into every content-addressed artifact key built from the
+source): bump it whenever the builder's output for a (seed, profile)
+pair can change, and warm fuzz reruns will recompute instead of serving
+artifacts from the older generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bump on any change that can alter the source a (seed, profile) pair
+#: renders to. The version is part of the generated source text itself,
+#: so every downstream artifact key changes with it.
+GENERATOR_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GenProfile:
+    """Grammar bounds for one generated-program population."""
+
+    name: str
+    #: Nominal trip count of the outer frame loop (the ``${reps}``
+    #: template parameter; the "short" scenario shrinks it).
+    reps: int
+    #: Frame-loop trips of the data-scale ("short") scenario.
+    short_reps: int
+    #: Samples staged into ``input[]`` via ``read_samples``.
+    input_len: int
+    #: Inclusive range of helper-function counts.
+    helpers: tuple[int, int]
+    #: Inclusive range of data-array counts (``input`` not included).
+    arrays: tuple[int, int]
+    #: Maximum loop-nest depth *below* the frame loop.
+    max_depth: int
+    #: Inclusive per-loop trip-count range.
+    trip: tuple[int, int]
+    #: Inclusive loop-stride range (``for (i = 0; i < N; i += s)``).
+    step: tuple[int, int]
+    #: Inclusive affine-coefficient magnitude range for nest iterators.
+    coef: tuple[int, int]
+    #: Inclusive affine constant-term range.
+    const: tuple[int, int]
+    #: Inclusive statements-per-block range.
+    block_stmts: tuple[int, int]
+    #: Probability of nesting another loop (per statement slot).
+    p_nest: float
+    #: Probability of a data-dependent branch (per statement slot).
+    p_branch: float
+    #: Probability of a helper call (per statement slot, main only).
+    p_call: float
+    #: Probability of a scalar reduction (per statement slot).
+    p_reduce: float
+    #: Probability a generated index coefficient is negative.
+    p_negative_coef: float
+    #: Probability the frame iterator participates in an index
+    #: (streaming references: the window slides once per frame).
+    p_frame_coef: float
+    #: Probability a non-int element type (short/double) is picked.
+    p_wide_types: float
+    #: Hard cap on any one array's element count.
+    max_array_elems: int
+    #: Soft cap on the estimated traced accesses of a whole program.
+    access_budget: int
+
+    def __post_init__(self) -> None:
+        if self.reps < 1 or not 1 <= self.short_reps <= self.reps:
+            raise ValueError(
+                f"profile {self.name!r}: need 1 <= short_reps <= reps"
+            )
+        for label, (lo, hi) in (("helpers", self.helpers),
+                                ("arrays", self.arrays),
+                                ("trip", self.trip), ("step", self.step),
+                                ("coef", self.coef),
+                                ("block_stmts", self.block_stmts)):
+            if lo > hi or lo < 0:
+                raise ValueError(
+                    f"profile {self.name!r}: bad {label} range ({lo}, {hi})"
+                )
+        if self.trip[0] < 2:
+            raise ValueError(
+                f"profile {self.name!r}: trips below 2 generate zero- or "
+                "single-trip loops the linter rejects"
+            )
+        if self.step[0] < 1:
+            raise ValueError(f"profile {self.name!r}: step must be >= 1")
+
+
+PROFILES: dict[str, GenProfile] = {
+    profile.name: profile
+    for profile in (
+        GenProfile(
+            name="small",
+            reps=4, short_reps=2, input_len=256,
+            helpers=(0, 2), arrays=(2, 4), max_depth=2,
+            trip=(3, 8), step=(1, 2), coef=(0, 4), const=(0, 6),
+            block_stmts=(1, 3),
+            p_nest=0.35, p_branch=0.2, p_call=0.3, p_reduce=0.35,
+            p_negative_coef=0.15, p_frame_coef=0.3, p_wide_types=0.25,
+            max_array_elems=2048, access_budget=6_000,
+        ),
+        GenProfile(
+            name="medium",
+            reps=6, short_reps=2, input_len=1024,
+            helpers=(1, 3), arrays=(3, 6), max_depth=3,
+            trip=(4, 16), step=(1, 3), coef=(0, 6), const=(0, 8),
+            block_stmts=(1, 4),
+            p_nest=0.4, p_branch=0.25, p_call=0.35, p_reduce=0.35,
+            p_negative_coef=0.2, p_frame_coef=0.35, p_wide_types=0.35,
+            max_array_elems=8192, access_budget=60_000,
+        ),
+        GenProfile(
+            name="large",
+            reps=8, short_reps=3, input_len=4096,
+            helpers=(1, 4), arrays=(4, 8), max_depth=3,
+            trip=(4, 32), step=(1, 4), coef=(0, 8), const=(0, 12),
+            block_stmts=(2, 5),
+            p_nest=0.45, p_branch=0.25, p_call=0.4, p_reduce=0.4,
+            p_negative_coef=0.2, p_frame_coef=0.4, p_wide_types=0.4,
+            max_array_elems=32768, access_budget=400_000,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> GenProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(
+            f"unknown generation profile {name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,384 @@
+"""Renderer: IR → sized, scenario-equipped MiniC workloads.
+
+Rendering is the *validity pass*: before any text is emitted, every
+affine index in the IR is interval-evaluated over its exact iteration
+box (nominal frame count — the maximum any scenario uses), each data
+array is sized to ``max index + 1``, and any reference whose interval
+could go negative or exceed the profile's size cap is rejected with
+:class:`~repro.gen.build.GenError`. A rendered program therefore cannot
+fault on any scenario, by construction rather than by testing.
+
+The emitted text is a ``source_template`` whose only parameter is the
+frame count ``${reps}`` (numeric-literal substitution only, as the
+workload contract requires), packaged as a registry-compatible
+:class:`~repro.workloads.base.Workload` with three scenarios: nominal,
+an alternative input distribution, and a short (fewer-frames) run.
+Unreferenced arrays and uncalled helpers are dropped at emission, which
+is what makes subtree deletion in the shrinker converge to minimal
+sources without a separate dead-code pass.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from repro.gen.build import (
+    INPUT_ARRAY,
+    Affine,
+    BinVal,
+    Branch,
+    CallStmt,
+    ConstVal,
+    GenError,
+    GenProgram,
+    IterVal,
+    Load,
+    Nest,
+    Reduce,
+    Stmt,
+    Store,
+    Value,
+    gen_name,
+)
+from repro.gen.profiles import GENERATOR_VERSION, GenProfile, get_profile
+from repro.sim.inputs import InputSpec
+from repro.workloads.base import InputScenario, Workload, scenario_params
+
+#: Alternative input ensembles the second scenario draws from
+#: (distribution, amplitude, period).
+_ALT_INPUTS = (
+    ("ramp", 2048, 32),
+    ("impulse", 512, 16),
+    ("walk", 1024, 64),
+    ("constant", 3, 64),
+    ("uniform", 4096, 64),
+)
+
+
+@dataclass(frozen=True)
+class RenderedProgram:
+    """One generated program, rendered and registry-ready."""
+
+    ir: GenProgram
+    workload: Workload
+    #: Final element count per emitted array id.
+    array_sizes: dict[int, int]
+
+    @property
+    def source(self) -> str:
+        return self.workload.source
+
+
+# ---------------------------------------------------------------------------
+# Interval analysis / sizing
+# ---------------------------------------------------------------------------
+
+
+class _Sizer:
+    """Walks the IR once, checking bounds and sizing arrays."""
+
+    def __init__(self, program: GenProgram, profile: GenProfile):
+        self.program = program
+        self.profile = profile
+        #: max index seen per array id (-1 = untouched).
+        self.max_index: dict[int, int] = {}
+        #: helper id -> max base argument over surviving call sites.
+        self.base_hi: dict[int, int] = {}
+        self.max_depth_main = 0
+        self.max_depth_helper: dict[int, int] = {}
+
+    def _span(self, index: Affine, maxima: list[int], base_hi: int,
+              what: str) -> tuple[int, int]:
+        if len(index.coeffs) != len(maxima):
+            raise GenError(
+                f"{what}: affine arity {len(index.coeffs)} != loop depth "
+                f"{len(maxima)}")
+        lo = hi = index.const
+        for coeff, maximum in zip(index.coeffs, maxima):
+            term = coeff * maximum
+            lo += min(0, term)
+            hi += max(0, term)
+        if index.with_base:
+            hi += base_hi
+        if lo < 0:
+            raise GenError(f"{what}: index interval reaches {lo} < 0")
+        return lo, hi
+
+    def _touch(self, array: int, index: Affine, maxima: list[int],
+               base_hi: int) -> None:
+        _, hi = self._span(index, maxima, base_hi, f"array {array}")
+        if array == INPUT_ARRAY:
+            if hi >= self.profile.input_len:
+                raise GenError(
+                    f"input index can reach {hi} >= {self.profile.input_len}")
+        elif hi >= self.profile.max_array_elems:
+            raise GenError(
+                f"array {array} index can reach {hi} >= size cap "
+                f"{self.profile.max_array_elems}")
+        if hi > self.max_index.get(array, -1):
+            self.max_index[array] = hi
+
+    def _value(self, value: Value, maxima: list[int], base_hi: int) -> None:
+        if isinstance(value, Load):
+            self._touch(value.array, value.index, maxima, base_hi)
+        elif isinstance(value, BinVal):
+            self._value(value.left, maxima, base_hi)
+            self._value(value.right, maxima, base_hi)
+
+    def _block(self, stmts: list[Stmt], maxima: list[int], base_hi: int,
+               helper: int | None) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Store):
+                self._touch(stmt.array, stmt.index, maxima, base_hi)
+                self._value(stmt.value, maxima, base_hi)
+            elif isinstance(stmt, Reduce):
+                self._value(stmt.value, maxima, base_hi)
+            elif isinstance(stmt, Nest):
+                maxima.append(stmt.max_value)
+                if helper is None:
+                    self.max_depth_main = max(self.max_depth_main,
+                                              len(maxima) - 1)
+                else:
+                    self.max_depth_helper[helper] = max(
+                        self.max_depth_helper.get(helper, 0), len(maxima))
+                self._block(stmt.body, maxima, base_hi, helper)
+                maxima.pop()
+            elif isinstance(stmt, Branch):
+                self._touch(INPUT_ARRAY, stmt.index, maxima, base_hi)
+                self._block(stmt.then, maxima, base_hi, helper)
+                self._block(stmt.els, maxima, base_hi, helper)
+            elif isinstance(stmt, CallStmt):
+                if helper is not None:
+                    raise GenError("helper bodies cannot call helpers")
+                _, hi = self._span(stmt.arg, maxima, 0,
+                                   f"helper{stmt.helper} arg")
+                self.base_hi[stmt.helper] = max(
+                    self.base_hi.get(stmt.helper, 0), hi)
+
+    def run(self) -> None:
+        program, profile = self.program, self.profile
+        # Main first: it discovers which helpers are live and the range
+        # of their base arguments, which the helper walk then uses.
+        self._block(program.main, [profile.reps - 1], 0, helper=None)
+        for helper, body in enumerate(program.helpers):
+            if helper not in self.base_hi:
+                continue  # uncalled: not emitted, not sized
+            self._block(body, [], self.base_hi[helper], helper)
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+def _elem_type_of(program: GenProgram, value: Value) -> str:
+    if isinstance(value, Load):
+        return program.elem_types[value.array]
+    if isinstance(value, BinVal):
+        if ("double" in (_elem_type_of(program, value.left),
+                         _elem_type_of(program, value.right))):
+            return "double"
+        return "int"
+    return "int"  # IterVal / ConstVal (short promotes to int anyway)
+
+
+class _Emitter:
+    def __init__(self, program: GenProgram):
+        self.program = program
+
+    def _array_name(self, array: int) -> str:
+        return "input" if array == INPUT_ARRAY else f"a{array}"
+
+    def _iter_name(self, pos: int, helper: bool) -> str:
+        if helper:
+            return f"i{pos + 1}"
+        return "frame" if pos == 0 else f"i{pos}"
+
+    def _affine(self, index: Affine, helper: bool) -> str:
+        terms: list[str] = []
+        if index.with_base:
+            terms.append("base")
+        for pos, coeff in enumerate(index.coeffs):
+            if coeff == 0:
+                continue
+            name = self._iter_name(pos, helper)
+            if coeff == 1:
+                terms.append(name)
+            elif coeff == -1:
+                terms.append(f"-{name}")
+            else:
+                terms.append(f"{coeff} * {name}")
+        if index.const or not terms:
+            terms.append(str(index.const))
+        out = terms[0]
+        for term in terms[1:]:
+            out += f" - {term[1:]}" if term.startswith("-") else f" + {term}"
+        return out
+
+    def _value(self, value: Value, helper: bool) -> str:
+        if isinstance(value, Load):
+            return (f"{self._array_name(value.array)}"
+                    f"[{self._affine(value.index, helper)}]")
+        if isinstance(value, IterVal):
+            name = self._iter_name(value.pos, helper)
+            if value.scale == 1 and value.offset == 0:
+                return name
+            body = name if value.scale == 1 else f"{value.scale} * {name}"
+            if value.offset:
+                body += f" + {value.offset}"
+            return f"({body})"
+        if isinstance(value, ConstVal):
+            return str(value.value)
+        return (f"({self._value(value.left, helper)} {value.op} "
+                f"{self._value(value.right, helper)})")
+
+    def _store(self, stmt: Store, helper: bool) -> str:
+        program = self.program
+        target = (f"{self._array_name(stmt.array)}"
+                  f"[{self._affine(stmt.index, helper)}]")
+        expr = self._value(stmt.value, helper)
+        rhs_type = _elem_type_of(program, stmt.value)
+        if stmt.self_read:
+            expr = f"{target} + {expr}"
+            if program.elem_types[stmt.array] == "double":
+                rhs_type = "double"
+        elem = program.elem_types[stmt.array]
+        # MiniC follows C's implicit conversions, but the suite's idiom
+        # is an explicit cast at every narrowing/float boundary.
+        if rhs_type != elem and not (rhs_type == "int" and elem == "short"):
+            expr = f"({elem})({expr})"
+        elif rhs_type == "int" and elem == "short":
+            expr = f"(short)({expr})"
+        return f"{target} = {expr};"
+
+    def _reduce(self, stmt: Reduce, helper: bool) -> str:
+        expr = self._value(stmt.value, helper)
+        if _elem_type_of(self.program, stmt.value) == "double":
+            expr = f"(int)({expr})"
+        return f"acc = acc + {expr};"
+
+    def _block(self, stmts: list[Stmt], indent: int, loop_depth: int,
+               helper: bool, live_helpers: set[int],
+               out: list[str]) -> None:
+        # ``indent`` is purely cosmetic; ``loop_depth`` is the number of
+        # enclosing loops in this function, i.e. the loop-stack position
+        # the next Nest iterator occupies (main's frame loop is pos 0).
+        pad = "    " * indent
+        for stmt in stmts:
+            if isinstance(stmt, Store):
+                out.append(pad + self._store(stmt, helper))
+            elif isinstance(stmt, Reduce):
+                out.append(pad + self._reduce(stmt, helper))
+            elif isinstance(stmt, Nest):
+                name = self._iter_name(loop_depth, helper)
+                bump = "++" if stmt.step == 1 else f" = {name} + {stmt.step}"
+                out.append(f"{pad}for ({name} = 0; {name} < {stmt.bound}; "
+                           f"{name}{bump}) {{")
+                self._block(stmt.body, indent + 1, loop_depth + 1, helper,
+                            live_helpers, out)
+                out.append(pad + "}")
+            elif isinstance(stmt, Branch):
+                cond = (f"input[{self._affine(stmt.index, helper)}] % "
+                        f"{stmt.mod} {stmt.op} {stmt.rhs}")
+                out.append(f"{pad}if ({cond}) {{")
+                self._block(stmt.then, indent + 1, loop_depth, helper,
+                            live_helpers, out)
+                if stmt.els:
+                    out.append(pad + "} else {")
+                    self._block(stmt.els, indent + 1, loop_depth, helper,
+                                live_helpers, out)
+                out.append(pad + "}")
+            elif isinstance(stmt, CallStmt):
+                if stmt.helper not in live_helpers:
+                    continue
+                out.append(f"{pad}helper{stmt.helper}"
+                           f"({self._affine(stmt.arg, False)});")
+
+
+def render_ir(program: GenProgram,
+              profile: GenProfile | None = None) -> RenderedProgram:
+    """Size, validate and emit one generated program as a Workload."""
+    profile = profile or get_profile(program.profile)
+    sizer = _Sizer(program, profile)
+    sizer.run()
+    emitter = _Emitter(program)
+    live_helpers = set(sizer.base_hi)
+
+    lines: list[str] = [
+        f"/* gen v{GENERATOR_VERSION} profile={profile.name} "
+        f"seed={program.seed} */",
+        f"int input[{profile.input_len}];",
+    ]
+    sizes: dict[int, int] = {INPUT_ARRAY: profile.input_len}
+    for array in sorted(a for a in sizer.max_index if a != INPUT_ARRAY):
+        size = sizer.max_index[array] + 1
+        sizes[array] = size
+        lines.append(
+            f"{program.elem_types[array]} a{array}[{size}];")
+    lines.append("int acc;")
+
+    for helper in sorted(live_helpers):
+        lines.append("")
+        lines.append(f"void helper{helper}(int base) {{")
+        depth = sizer.max_depth_helper.get(helper, 0)
+        for k in range(1, depth + 1):
+            lines.append(f"    int i{k};")
+        emitter._block(program.helpers[helper], 1, 0, True, live_helpers,
+                       lines)
+        lines.append("}")
+
+    lines.append("")
+    lines.append("int main() {")
+    for k in range(1, sizer.max_depth_main + 1):
+        lines.append(f"    int i{k};")
+    lines.append("    int frame;")
+    lines.append(f"    read_samples(input, {profile.input_len});")
+    lines.append("    for (frame = 0; frame < ${reps}; frame++) {")
+    emitter._block(program.main, 2, 1, False, live_helpers, lines)
+    lines.append("    }")
+    lines.append('    printf("gen checksum %d\\n", acc);')
+    lines.append("    return 0;")
+    lines.append("}")
+    template = "\n".join(lines) + "\n"
+
+    alt = _ALT_INPUTS[
+        random.Random(
+            f"repro-gen-input-v{GENERATOR_VERSION}:{profile.name}:"
+            f"{program.seed}"
+        ).randrange(len(_ALT_INPUTS))
+    ]
+    scenarios = (
+        InputScenario(
+            name="nominal",
+            description="profiling ensemble at the nominal frame count",
+            params=scenario_params(reps=profile.reps),
+        ),
+        InputScenario(
+            name=f"alt-{alt[0]}",
+            description=f"{alt[0]} input ensemble at the nominal "
+                        "frame count",
+            input=InputSpec(distribution=alt[0], amplitude=alt[1],
+                            period=alt[2]),
+            params=scenario_params(reps=profile.reps),
+        ),
+        InputScenario(
+            name="short-frames",
+            description=f"nominal ensemble over {profile.short_reps} "
+                        "frames",
+            params=scenario_params(reps=profile.short_reps),
+        ),
+    )
+    source = string.Template(template).substitute(reps=profile.reps)
+    workload = Workload(
+        name=gen_name(profile.name, program.seed),
+        source=source,
+        description=(
+            f"generated program (gen v{GENERATOR_VERSION}, "
+            f"profile {profile.name}, seed {program.seed})"),
+        source_template=template,
+        scenarios=scenarios,
+    )
+    return RenderedProgram(ir=program, workload=workload,
+                           array_sizes=sizes)

@@ -1,0 +1,111 @@
+"""Seed-replayable shrinker: minimize failing programs by subtree
+deletion.
+
+The shrinker never synthesizes anything: it deletes one statement
+subtree at a time from the builder IR, re-renders, and keeps the
+deletion iff the caller's predicate still reports the failure. Deletion
+can only shrink index intervals, so a deleted variant that renders at
+all is still fault-free; variants whose render is rejected are simply
+skipped. Uncalled helpers and untouched arrays disappear at emission
+(see :mod:`repro.gen.render`), so no separate dead-code cleanup is
+needed.
+
+Because the IR for a (seed, profile) pair is deterministic and the
+deletion order is a fixed structural walk, a shrink is replayable from
+the recorded seed alone — the minimized source in a fuzz report can
+always be regenerated bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gen.build import Branch, GenError, GenProgram, Nest, Stmt
+from repro.gen.render import RenderedProgram, render_ir
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    ir: GenProgram
+    rendered: RenderedProgram
+    #: Deletions attempted (kept + rejected).
+    attempts: int
+    #: Deletions kept (statements actually removed).
+    deleted: int
+
+    @property
+    def source(self) -> str:
+        return self.rendered.workload.source
+
+
+def _deletion_sites(program: GenProgram) -> list[tuple[list[Stmt], int]]:
+    """Every (block, index) a statement could be deleted from, in a
+    deterministic post-order walk (children before their parents, so a
+    whole failing region collapses bottom-up)."""
+    sites: list[tuple[list[Stmt], int]] = []
+
+    def walk(block: list[Stmt]) -> None:
+        for index, stmt in enumerate(block):
+            if isinstance(stmt, Nest):
+                walk(stmt.body)
+            elif isinstance(stmt, Branch):
+                walk(stmt.then)
+                walk(stmt.els)
+            sites.append((block, index))
+
+    for body in program.helpers:
+        walk(body)
+    walk(program.main)
+    return sites
+
+
+def shrink_ir(
+    program: GenProgram,
+    still_fails: Callable[[RenderedProgram], bool],
+    max_attempts: int = 400,
+) -> ShrinkResult:
+    """Greedy fixpoint deletion: remove every subtree whose removal
+    keeps ``still_fails`` true, bounded by ``max_attempts`` predicate
+    evaluations.
+
+    ``program`` is mutated in place (it is the deterministic rebuild of
+    a seed, so nothing of value is lost) and returned in its minimized
+    form together with its rendering.
+    """
+    attempts = deleted = 0
+    rendered = render_ir(program)
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        # Sites are re-enumerated after every kept deletion (a deletion
+        # invalidates indices after it and orphans sites inside the
+        # removed subtree), walked parents-first so failing regions
+        # collapse wholesale before their statements are tried one by
+        # one.
+        for block, index in reversed(_deletion_sites(program)):
+            if attempts >= max_attempts:
+                break
+            victim = block.pop(index)
+            attempts += 1
+            try:
+                candidate = render_ir(program)
+            except GenError:
+                block.insert(index, victim)
+                continue
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                # A predicate crash on the candidate is not the failure
+                # we are minimizing; reject the deletion.
+                failing = False
+            if failing:
+                deleted += 1
+                rendered = candidate
+                progress = True
+                break  # re-enumerate sites against the new shape
+            block.insert(index, victim)
+    return ShrinkResult(ir=program, rendered=rendered, attempts=attempts,
+                        deleted=deleted)

@@ -297,6 +297,11 @@ exploration_cache = ArtifactCache("exploration", max_entries=256)
 validation_cache = ArtifactCache("validation", max_entries=256)
 #: Cache-hierarchy comparison cells by (extraction, cache config, SPM knobs).
 hierarchy_cache = ArtifactCache("hierarchy", max_entries=256)
+#: Per-program fuzz outcomes by (generated source, check set, run config).
+#: The generated source embeds the generator version + profile + seed in
+#: its header, so these keys — like every downstream ``_compile_key`` —
+#: roll over automatically when the generator changes.
+fuzz_cache = ArtifactCache("fuzz", max_entries=4096)
 
 
 def clear_caches() -> None:
@@ -308,6 +313,7 @@ def clear_caches() -> None:
     exploration_cache.clear()
     validation_cache.clear()
     hierarchy_cache.clear()
+    fuzz_cache.clear()
     _profile_model_memo.clear()
 
 
@@ -670,9 +676,9 @@ def _stage_validate(ctx: PipelineContext) -> None:
     config = ctx.config
     if not config.validation.enabled:
         return
-    from repro.workloads.registry import ALL_WORKLOADS
+    from repro.workloads.registry import find_workload
 
-    workload = ALL_WORKLOADS.get(ctx.name)
+    workload = find_workload(ctx.name)
     if workload is None or len(workload.scenarios) < 2:
         return
     if not any(
@@ -1382,9 +1388,9 @@ def _hier_scenario_label(name: str, source: str,
     label the nominal run ``"nominal"`` instead of splitting it across
     a ``"-"`` and a ``"nominal"`` key for identical simulations.
     """
-    from repro.workloads.registry import ALL_WORKLOADS
+    from repro.workloads.registry import find_workload
 
-    workload = ALL_WORKLOADS.get(name)
+    workload = find_workload(name)
     if workload is None:
         return "-"
     wanted_input = config.input or InputSpec()

@@ -153,6 +153,16 @@ class StaticAnalyzer:
         self.layout = global_layout(program)
         self.summaries = _summarize_functions(program)
 
+        #: Functions reachable both from modeled (unconditional) call
+        #: sites and from conditional regions. Their total activation
+        #: counts are input-dependent, so modeling them from the
+        #: unconditional sites alone would understate every statistic;
+        #: :meth:`run` demotes them and re-walks (see there).
+        self._tainted_fns: set[str] = set()
+        self._reset()
+
+    def _reset(self) -> None:
+        """(Re)initialize all per-walk mutable state."""
         self.root = _MirrorNode(begin_id=0, kind="root", ast_node_id=-1,
                                 parent=None, depth=0, uid=0)
         self.stack: list[list[object]] = [[self.root, True]]
@@ -174,6 +184,10 @@ class StaticAnalyzer:
         self.model_complete = True
         self.stats_exact = True
         self._scanned: set[tuple[str, str]] = set()
+        #: Functions modeled through an unconditional call this walk.
+        self._modeled_fns: set[str] = set()
+        #: Functions reached (transitively) from a scanned region.
+        self._cond_called: set[str] = set()
 
     # ------------------------------------------------------------------
     # entry point
@@ -182,16 +196,31 @@ class StaticAnalyzer:
     def run(self, entry: str = "main") -> StaticForayModel:
         if not self.program.has_function(entry):
             raise ValueError(f"no entry function {entry!r}")
-        fn = self.program.function(entry)
-        frame = _Frame(fn=entry)
-        self.frames.append(frame)
-        self._bind_params(fn, [], frame)
-        status, taint = self._walk_stmt(fn.body, (entry,))
-        if taint - {"loop", "fn"}:
-            # A conditional exit() may have cut the run short anywhere.
-            self.stats_exact = False
-        self.frames.pop()
-        return self._finish()
+        while True:
+            fn = self.program.function(entry)
+            frame = _Frame(fn=entry)
+            self.frames.append(frame)
+            self._bind_params(fn, [], frame)
+            status, taint = self._walk_stmt(fn.body, (entry,))
+            if taint - {"loop", "fn"}:
+                # A conditional exit() may have cut the run short anywhere.
+                self.stats_exact = False
+            self.frames.pop()
+            # A function reached from a modeled call site AND a scanned
+            # (conditional) region executes more often than the modeled
+            # sites alone can account for — by an input-dependent
+            # amount. Modeling it would understate every statistic, so
+            # demote it and walk again: its call sites now scan, its
+            # references join the contextual-refusal set, and the
+            # dynamic extraction keeps sole custody of its counts.
+            # Iterated to a fixpoint because each demotion can expose
+            # new conditionally-reached callees.
+            newly_tainted = (self._modeled_fns & self._cond_called
+                             - self._tainted_fns)
+            if not newly_tainted:
+                return self._finish()
+            self._tainted_fns |= newly_tainted
+            self._reset()
 
     # ------------------------------------------------------------------
     # function summaries / helpers
@@ -489,6 +518,7 @@ class StaticAnalyzer:
                     if sub.name not in SILENT_BUILTINS:
                         self.stats_exact = False
                 elif self.program.has_function(sub.name):
+                    self._cond_called.add(sub.name)
                     if sub.name in chain:
                         self._note_refusal(sub.node_id, "recursion",
                                            f"cycle through {sub.name!r}")
@@ -983,6 +1013,28 @@ class StaticAnalyzer:
                        chain + (expr.name,))
             return taint, False
         fn = self.program.function(expr.name)
+        if expr.name in self._tainted_fns:
+            # Also reachable from a conditional region: the function's
+            # total activation count is input-dependent, so modeling
+            # this call site would understate its statistics. Scan the
+            # body instead (contextual refusals on every access). If the
+            # callee begins loops, their checkpoints leave dynamic
+            # attribution inside the callee's innermost loop after the
+            # return — without the inline walk the mirror cannot follow,
+            # so poison attribution until the next unconditional
+            # checkpoint, exactly as for a skipped recursive call.
+            self._note_refusal(expr.node_id, "control-dependent",
+                               f"{expr.name!r} is also called "
+                               "conditionally")
+            summary = self.summaries.get(expr.name, _FnSummary())
+            if summary.has_loop:
+                self.poisoned = True
+            self._scan(fn.body, "control-dependent", chain + (expr.name,))
+            self._invalidate_assigned(fn.body, frame)
+            if summary.may_exit:
+                taint.add("exit")
+            return taint, False
+        self._modeled_fns.add(expr.name)
         saved_sp, saved_sp_exact = self.sp, self.sp_exact
         callee = _Frame(fn=expr.name)
         self._bind_params(fn, arg_forms, callee)

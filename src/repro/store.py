@@ -66,7 +66,7 @@ SCHEMA_VERSION = 1
 
 #: The namespaces the pipeline persists (one per in-memory cache).
 NAMESPACES = ("compile", "extraction", "exploration", "validation",
-              "hierarchy")
+              "hierarchy", "fuzz")
 
 _MAGIC = b"RPROART\0"
 _ENTRY_SUFFIX = ".art"

@@ -175,6 +175,59 @@ class TestCache:
             main(["cache", "frobnicate"])
 
 
+class TestGen:
+    def test_gen_smoke(self, capsys):
+        assert main(["gen", "--seeds", "2", "--no-disk-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: profile=small programs=2 failures=0 errors=0" in out
+        assert "parity" in out and "transfer" in out
+
+    def test_gen_json_payload(self, capsys):
+        import json
+
+        assert main(["gen", "--seeds", "2", "--json",
+                     "--no-disk-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "gen"
+        assert payload["ok"] is True
+        assert payload["total"] == 2
+        assert [p["seed"] for p in payload["programs"]] == [0, 1]
+        assert set(payload["check_counts"]) >= {"parity", "ir", "static"}
+
+    def test_gen_seeded_bug_exits_nonzero_with_reproducer(self, capsys):
+        assert main(["gen", "--seeds", "1", "--check", "seeded-bug",
+                     "--no-disk-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL gen:small:0 [seeded-bug]" in out
+        assert "replay: repro gen --profile small --seed-start 0" in out
+        assert "minimized reproducer" in out
+
+    def test_gen_check_subset_and_errors(self, capsys):
+        assert main(["gen", "--seeds", "1", "--check", "ir,lint",
+                     "--no-disk-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "static" not in out
+        with pytest.raises(SystemExit, match="unknown generation profile"):
+            main(["gen", "--seeds", "1", "--profile", "bogus"])
+        with pytest.raises(SystemExit, match="unknown fuzz check"):
+            main(["gen", "--seeds", "1", "--check", "nosuch"])
+
+    def test_gen_warm_rerun_reports_fuzz_hits(self, tmp_path, capsys):
+        from repro.pipeline import clear_caches
+
+        cache_dir = str(tmp_path / "store")
+        clear_caches()  # a prior test's L1 entry would skip the store
+        assert main(["gen", "--seeds", "2", "--check", "ir,lint",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        clear_caches()  # drop L1 so the rerun exercises the disk tier
+        assert main(["gen", "--seeds", "2", "--check", "ir,lint",
+                     "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "cache[fuzz]: 2 hits, 0 misses, 0 stored" in captured.err
+        assert "(cached: 2)" in captured.out
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
